@@ -1,0 +1,91 @@
+"""Benchmark for the general ADR substrate (Wolfson et al.), the algorithm
+SWAT-ASR specialises.  Sweeps the read/write mix and shows the adaptive
+scheme beating both static extremes (root-only and fully replicated).
+"""
+
+import numpy as np
+
+from repro.experiments import format_table
+from repro.network.topology import Topology
+from repro.replication.adr import AdrObject
+
+
+def _drive(obj, read_fraction, n_events=2000, phase=25, seed=0):
+    rng = np.random.default_rng(seed)
+    sites = obj.topology.nodes
+    for step in range(n_events):
+        site = sites[rng.integers(0, len(sites))]
+        if rng.random() < read_fraction:
+            obj.read(site)
+        else:
+            obj.write(site, float(step))
+        if step % phase == phase - 1:
+            obj.end_phase()
+    return obj.messages
+
+
+class _Frozen(AdrObject):
+    """ADR with the tests disabled: a static replication scheme."""
+
+    def end_phase(self):
+        for c in self._counters.values():
+            c.reset()
+
+
+def test_adr_read_write_sweep(benchmark, report):
+    topo = Topology.complete_binary_tree(14)
+
+    def run():
+        rows = []
+        for read_fraction in (0.1, 0.3, 0.5, 0.7, 0.9):
+            adaptive = _drive(AdrObject(topo), read_fraction)
+            root_only = _drive(_Frozen(topo), read_fraction)
+            everywhere = _drive(_Frozen(topo, set(topo.nodes)), read_fraction)
+            rows.append(
+                {
+                    "read_fraction": read_fraction,
+                    "adaptive": adaptive,
+                    "static_root_only": root_only,
+                    "static_full_replication": everywhere,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            rows,
+            "ADR substrate: messages vs read fraction, 15-site binary tree\n"
+            "(adaptive should track whichever static extreme fits the mix)",
+        )
+    )
+    for row in rows:
+        best_static = min(row["static_root_only"], row["static_full_replication"])
+        # Adaptation overhead is bounded: never far worse than the best
+        # static scheme, and strictly better than the worst.
+        assert row["adaptive"] <= 1.5 * best_static
+        assert row["adaptive"] < max(
+            row["static_root_only"], row["static_full_replication"]
+        )
+
+
+def test_adr_converges_to_activity_centre(benchmark, report):
+    topo = Topology.complete_binary_tree(14)
+
+    def run():
+        obj = AdrObject(topo)
+        # All activity at one deep leaf: reads dominate there.
+        for phase in range(10):
+            for __ in range(20):
+                obj.read("C14")
+            obj.end_phase()
+        return {"replicas": sorted(obj.replicas), "messages": obj.messages}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            [{"final_replicas": " ".join(out["replicas"]), "messages": out["messages"]}],
+            "ADR substrate: replication scheme after 10 read-only phases at C14",
+        )
+    )
+    assert "C14" in out["replicas"]

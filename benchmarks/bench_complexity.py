@@ -1,0 +1,136 @@
+"""Empirical complexity checks for the paper's asymptotic claims (§2.6).
+
+* SWAT update: amortized O(1) per arrival — flat as N grows;
+* SWAT inner-product query: O(M + log^2 N) — near-flat in N, linear in M;
+* SWAT space: O(k log N);
+* Histogram build: grows superlinearly in N (the query-time bottleneck).
+"""
+
+import time
+
+from repro.core import Swat, exponential_query
+from repro.data import uniform_stream
+from repro.experiments import format_table
+from repro.histogram import approximate_histogram
+
+from .conftest import quick_mode
+
+
+def _mean_time(fn, repeats):
+    t0 = time.perf_counter()
+    for __ in range(repeats):
+        fn()
+    return (time.perf_counter() - t0) / repeats
+
+
+def test_update_cost_flat_in_window_size(benchmark, report):
+    sizes = (256, 1024, 4096) if quick_mode() else (256, 1024, 4096, 16384)
+    n_updates = 20_000
+
+    def run():
+        rows = []
+        for n in sizes:
+            stream = uniform_stream(n_updates, seed=0)
+            tree = Swat(n)
+            t0 = time.perf_counter()
+            for v in stream:
+                tree.update(v)
+            per_update = (time.perf_counter() - t0) / n_updates
+            rows.append({"N": n, "us_per_update": per_update * 1e6})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_table(rows, "Complexity: SWAT update cost vs window size (expect ~flat)"))
+    times = [r["us_per_update"] for r in rows]
+    assert max(times) < 4.0 * min(times)  # amortized O(1), not O(N)
+
+
+def test_query_cost_polylog_in_window_size(benchmark, report):
+    sizes = (256, 1024, 4096) if quick_mode() else (256, 1024, 4096, 16384)
+
+    def run():
+        rows = []
+        q = exponential_query(64)
+        for n in sizes:
+            tree = Swat(n)
+            tree.extend(uniform_stream(2 * n, seed=1))
+            per_query = _mean_time(lambda: tree.answer(q), 200)
+            rows.append({"N": n, "us_per_query": per_query * 1e6})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            rows, "Complexity: SWAT query cost vs window size (expect polylog growth)"
+        )
+    )
+    times = [r["us_per_query"] for r in rows]
+    # 64x window growth must not cost anywhere near 64x query time.
+    assert times[-1] < 8.0 * times[0]
+
+
+def test_query_cost_linear_in_query_length(benchmark, report):
+    n = 4096
+    lengths = (16, 64, 256, 1024)
+
+    def run():
+        tree = Swat(n)
+        tree.extend(uniform_stream(2 * n, seed=2))
+        rows = []
+        for m in lengths:
+            q = exponential_query(m)
+            per_query = _mean_time(lambda: tree.answer(q), 100)
+            rows.append({"M": m, "us_per_query": per_query * 1e6})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            rows, "Complexity: SWAT query cost vs query length (expect ~linear in M)"
+        )
+    )
+    times = [r["us_per_query"] for r in rows]
+    # 64x longer queries cost more, but sub-quadratically.
+    assert times[-1] < 64.0 * times[0]
+
+
+def test_space_logarithmic(benchmark, report):
+    def run():
+        rows = []
+        for n in (64, 256, 1024, 4096, 16384):
+            tree = Swat(n)
+            tree.extend(uniform_stream(3 * n, seed=3))
+            rows.append(
+                {
+                    "N": n,
+                    "coefficients": tree.memory_coefficients,
+                    "nodes": tree.num_nodes,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_table(rows, "Complexity: SWAT space vs window size (expect O(log N))"))
+    assert rows[-1]["coefficients"] < 3 * rows[0]["coefficients"]  # 256x window, <3x space
+
+
+def test_histogram_build_superlinear(benchmark, report):
+    sizes = (256, 1024) if quick_mode() else (256, 1024, 4096)
+
+    def run():
+        rows = []
+        for n in sizes:
+            x = uniform_stream(n, seed=4)
+            per_build = _mean_time(lambda: approximate_histogram(x, 30, 0.1), 2)
+            rows.append({"N": n, "seconds_per_build": per_build})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            rows,
+            "Complexity: Histogram build cost vs window size "
+            "(the per-query price SWAT avoids)",
+        )
+    )
+    assert rows[-1]["seconds_per_build"] > rows[0]["seconds_per_build"]

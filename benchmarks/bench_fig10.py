@@ -1,0 +1,73 @@
+"""Figure 10 and Section 5.1 — multi-client replication (N = 64).
+
+(a) message cost vs number of clients on a complete binary tree (weather);
+(b) message cost vs precision for a 6-client tree (synthetic);
+(space) the Section 5.1 approximation-count comparison.
+"""
+
+from repro.experiments import (
+    fig10a_client_sweep,
+    fig10b_precision_sweep_multi,
+    format_table,
+    space_complexity,
+)
+
+from .conftest import quick_mode
+
+MEASURE = 120.0 if quick_mode() else 400.0
+
+
+def test_fig10a_client_sweep_real(benchmark, report):
+    counts = (2, 6) if quick_mode() else (2, 6, 14, 30)
+    rows = benchmark.pedantic(
+        fig10a_client_sweep,
+        kwargs=dict(data="real", client_counts=counts, measure_time=MEASURE),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        format_table(
+            rows,
+            "Figure 10(a): messages vs #clients, binary tree, weather data, N=64\n"
+            "(paper: DC sends up to 3x, APS up to 4x more than SWAT-ASR)",
+        )
+    )
+    largest = rows[-1]
+    assert largest["SWAT-ASR"] < largest["DC"]
+    assert largest["SWAT-ASR"] < largest["APS"]
+
+
+def test_fig10b_precision_sweep_synthetic(benchmark, report):
+    rows = benchmark.pedantic(
+        fig10b_precision_sweep_multi,
+        kwargs=dict(data="synthetic", measure_time=MEASURE),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        format_table(
+            rows,
+            "Figure 10(b): messages vs precision, 6 clients, synthetic, N=64\n"
+            "(paper: SWAT-ASR better by 3-4x thanks to its hierarchy)",
+        )
+    )
+    for row in rows:
+        assert row["SWAT-ASR"] <= row["APS"]
+
+
+def test_space_complexity_table(benchmark, report):
+    rows = benchmark.pedantic(
+        space_complexity,
+        kwargs=dict(window_sizes=(32, 64, 128, 256), n_clients=6),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        format_table(
+            rows,
+            "Section 5.1: approximations maintained "
+            "(SWAT-ASR O(M log N) vs DC/APS O(M N))",
+        )
+    )
+    for row in rows:
+        assert row["SWAT-ASR_total_max"] < row["DC_total"]

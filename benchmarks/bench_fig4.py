@@ -1,0 +1,67 @@
+"""Figure 4 — SWAT error behaviour in fixed query mode.
+
+(a) relative error of a fixed exponential inner-product query over 10K
+    arrivals at N = 256;
+(b) the cumulative (running-average) version of the same series;
+(c) average absolute error vs the number of maintained levels at N = 512.
+"""
+
+import numpy as np
+
+from repro.experiments import fig4a_relative_error, fig4c_levels_sweep, format_table
+
+from .conftest import quick_mode
+
+
+def _fig4ab():
+    n = 2_000 if quick_mode() else 10_000
+    return fig4a_relative_error(n_points=n, window_size=256, query_length=64)
+
+
+def test_fig4a_relative_error_series(benchmark, report):
+    out = benchmark.pedantic(_fig4ab, rounds=1, iterations=1)
+    rel = out["relative"]
+    rows = [
+        {"metric": "queries", "value": rel.size},
+        {"metric": "mean relative error", "value": float(out["mean"])},
+        {"metric": "max relative error", "value": float(rel.max())},
+        {"metric": "p95 relative error", "value": float(np.percentile(rel, 95))},
+    ]
+    report(
+        format_table(rows, "Figure 4(a): fixed exponential query, N=256, synthetic")
+        + "\n(periodic behaviour: upper tree levels diverge between refreshes)"
+    )
+    # The paper's qualitative claim: the error stays small throughout.
+    assert float(out["mean"]) < 0.05
+
+
+def test_fig4b_cumulative_error(benchmark, report):
+    out = benchmark.pedantic(_fig4ab, rounds=1, iterations=1)
+    cum = out["cumulative"]
+    checkpoints = [int(f * (cum.size - 1)) for f in (0.1, 0.25, 0.5, 1.0)]
+    rows = [{"queries_seen": c + 1, "cumulative_error": float(cum[c])} for c in checkpoints]
+    report(format_table(rows, "Figure 4(b): cumulative relative error (paper: ~0.01)"))
+    # "the cumulative error is quite small, around 0.01"
+    assert float(cum[-1]) < 0.05
+
+
+def test_fig4c_error_vs_levels(benchmark, report):
+    n = 2_000 if quick_mode() else 6_000
+    rows = benchmark.pedantic(
+        fig4c_levels_sweep,
+        kwargs=dict(n_points=n, window_size=512, query_length=32),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        format_table(
+            rows,
+            "Figure 4(c): avg absolute error vs maintained levels, N=512\n"
+            "(expect ~linear growth for exponential queries, ~exponential for linear)",
+        )
+    )
+    lin = [r["linear"] for r in rows]
+    exp = [r["exponential"] for r in rows]
+    assert lin[-1] > lin[0]
+    # Linear-query error grows faster than exponential-query error.
+    assert lin[-1] / max(lin[0], 1e-12) > exp[-1] / max(exp[0], 1e-12)

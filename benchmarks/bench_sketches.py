@@ -1,0 +1,122 @@
+"""Related-work comparison benches (Section 1.1 techniques vs SWAT).
+
+Not paper figures — these position SWAT among the summaries its related-work
+section discusses, on the questions each is built for:
+
+* sliding-window SUM: SWAT (reconstruct and add) vs an exponential histogram
+  (purpose-built, provably (1+eps));
+* whole-stream point queries: GrowingSwat (recency-biased) vs surfing
+  wavelets (global top-B energy);
+* the space each needs to get there.
+"""
+
+from collections import deque
+
+import numpy as np
+
+from repro.core import GrowingSwat, Swat
+from repro.data import santa_barbara_temps, uniform_stream
+from repro.experiments import format_table
+from repro.sketches import EhSum, SurfingWavelets
+
+
+def test_window_sum_swat_vs_eh(benchmark, report):
+    """SWAT is a value summary; EH is a sum summary.  EH should win on sums,
+    SWAT stays respectable — and answers everything else too."""
+    N = 256
+    stream = uniform_stream(4000, seed=0)
+
+    def run():
+        tree = Swat(N)
+        eh = EhSum(N, eps=0.1, max_value=100)
+        win = deque(maxlen=N)
+        swat_err, eh_err = [], []
+        for i, v in enumerate(stream):
+            tree.update(v)
+            eh.update(v)
+            win.append(round(v))
+            if i < N or i % 20:
+                continue
+            true = float(sum(win))
+            swat_err.append(abs(float(tree.reconstruct_window().sum()) - true) / true)
+            eh_err.append(abs(eh.estimate() - true) / true)
+        return [
+            {"technique": "SWAT (k=1)", "mean_rel_error_sum": float(np.mean(swat_err))},
+            {"technique": "EH sum", "mean_rel_error_sum": float(np.mean(eh_err))},
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_table(rows, "Related work: sliding-window SUM, N=256, synthetic"))
+    for r in rows:
+        assert r["mean_rel_error_sum"] < 0.1
+
+
+def test_whole_stream_points_growing_vs_surfing(benchmark, report):
+    """Recent points: GrowingSwat should win (recency bias).  Global energy:
+    surfing wavelets spend their budget where the signal is."""
+    stream = santa_barbara_temps()[:2048]
+
+    def run():
+        g = GrowingSwat(k=1)
+        sw = SurfingWavelets(n_coefficients=33)  # match GrowingSwat's budget
+        g.extend(stream)
+        sw.extend(stream)
+        recent = list(range(16))
+        old = list(range(1024, 1040))
+        truth = stream[::-1]
+        rows = []
+        for name, summary in (("GrowingSwat", g), ("SurfingWavelets", sw)):
+            r_err = float(np.abs(summary.estimates(recent) - truth[recent]).mean())
+            o_err = float(np.abs(summary.estimates(old) - truth[old]).mean())
+            stored = (
+                summary.memory_coefficients
+                if name == "GrowingSwat"
+                else summary.stored_coefficients
+            )
+            rows.append(
+                {
+                    "technique": name,
+                    "recent_abs_err": r_err,
+                    "old_abs_err": o_err,
+                    "coefficients": stored,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            rows,
+            "Related work: whole-stream point queries, weather prefix "
+            "(GrowingSwat = recency-biased; surfing = global top-B)",
+        )
+    )
+    growing = next(r for r in rows if r["technique"] == "GrowingSwat")
+    surfing = next(r for r in rows if r["technique"] == "SurfingWavelets")
+    assert growing["recent_abs_err"] < surfing["recent_abs_err"]
+
+
+def test_sketch_space_comparison(benchmark, report):
+    N = 1024
+    stream = uniform_stream(3 * N, seed=1)
+
+    def run():
+        tree = Swat(N)
+        eh = EhSum(N, eps=0.1, max_value=100)
+        sw = SurfingWavelets(n_coefficients=28)
+        for v in stream:
+            tree.update(v)
+            eh.update(v)
+            sw.update(v)
+        return [
+            {"technique": "SWAT (k=1)", "stored": tree.memory_coefficients,
+             "answers": "points, ranges, inner products (window)"},
+            {"technique": "EH sum", "stored": eh.n_buckets,
+             "answers": "sum/count only (window)"},
+            {"technique": "Surfing (B=28)", "stored": sw.stored_coefficients,
+             "answers": "points, aggregates (whole stream)"},
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_table(rows, "Related work: space at N=1024 (coefficients / buckets)"))
+    assert all(r["stored"] < N for r in rows)

@@ -1,0 +1,62 @@
+"""Distributed stream replication — Section 3's network scenario.
+
+A data processing centre (the source ``S``) summarizes a CDR stream; network
+operation centres (clients) across a binary-tree WAN ask linear inner-product
+queries with precision requirements.  The script runs all three protocols —
+SWAT-ASR, Divergence Caching, and Adaptive Precision Setting — on identical
+workloads and reports message costs, cache sizes, and answer quality.
+
+Run:  python examples/distributed_replication.py
+"""
+
+from repro import Topology
+from repro.data import santa_barbara_temps
+from repro.replication import PROTOCOLS, ReplicationConfig, make_protocol, run_replication
+
+WINDOW = 64
+N_CLIENTS = 6
+
+
+def main() -> None:
+    stream = santa_barbara_temps()
+    value_range = (float(stream.min()) - 1.0, float(stream.max()) + 1.0)
+    topology = Topology.complete_binary_tree(N_CLIENTS)
+    config = ReplicationConfig(
+        window_size=WINDOW,
+        data_period=2.0,  # a new reading every 2 s
+        query_period=1.0,  # each centre queries every second
+        phase_period=10.0,  # ADR phase boundary
+        measure_time=600.0,
+        precision=(2.0, 10.0),
+        value_range=value_range,
+        seed=0,
+    )
+
+    print(f"topology: source + {N_CLIENTS} operation centres (binary tree), "
+          f"window = {WINDOW}, measuring {config.measure_time:.0f}s of traffic\n")
+    print(f"{'protocol':<10} {'messages':>9} {'msgs/query':>11} "
+          f"{'cached approximations':>22} {'mean |error|':>13}")
+
+    results = {}
+    for name in PROTOCOLS:
+        protocol = make_protocol(name, topology, WINDOW, value_range)
+        result = run_replication(protocol, stream, config)
+        results[name] = result
+        print(f"{name:<10} {result.total_messages:>9} "
+              f"{result.messages_per_query:>11.2f} "
+              f"{result.approximations:>22} {result.mean_abs_error:>13.4f}")
+
+    asr = results["SWAT-ASR"].total_messages
+    print(f"\nSWAT-ASR uses {results['DC'].total_messages / asr:.1f}x fewer messages "
+          f"than Divergence Caching and {results['APS'].total_messages / asr:.1f}x fewer "
+          f"than Adaptive Precision Setting, while holding "
+          f"{results['DC'].approximations // results['SWAT-ASR'].approximations}x fewer "
+          f"approximations - the hierarchy lets whole segments be shared.")
+
+    breakdown = results["SWAT-ASR"].by_kind
+    print("\nSWAT-ASR message breakdown:",
+          ", ".join(f"{k}={v}" for k, v in breakdown.items() if v))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Forecasting from biased summaries — the paper's banner-hits motivation.
+
+"In the case of banner-hits data, the number of hits in the immediate past
+can be used to gauge the popularity of an advertisement."  This script keeps
+a SWAT over a synthetic banner-hit stream whose popularity drifts, and uses
+exponentially weighted inner-product queries as one-step-ahead forecasts,
+comparing against (a) forecasts from the exact window and (b) a naive
+last-value predictor.  The point: the forecast quality from the O(log N)
+summary tracks the exact-window forecast closely, because the weights and
+the summary share the same recency bias.
+
+Run:  python examples/forecasting_banner_hits.py
+"""
+
+import numpy as np
+
+from repro import Swat, exponential_query
+from repro.metrics import GroundTruthWindow
+
+WINDOW = 256
+HORIZON = 4000
+
+
+def banner_hits(n: int, seed: int = 3) -> np.ndarray:
+    """Hits per interval: popularity random-walks and campaigns come and go."""
+    rng = np.random.default_rng(seed)
+    popularity = 100.0
+    out = np.empty(n)
+    for i in range(n):
+        popularity = max(5.0, popularity + rng.normal(0, 1.2))
+        if rng.random() < 0.002:  # a new ad campaign
+            popularity += rng.uniform(30, 80)
+        out[i] = max(0.0, rng.normal(popularity, 4.0))
+    return out
+
+
+def ewma_weights_sum(length: int, ratio: float = 2.0) -> float:
+    return sum(ratio**-i for i in range(length))
+
+
+def main() -> None:
+    stream = banner_hits(HORIZON)
+    tree = Swat(WINDOW)
+    truth = GroundTruthWindow(WINDOW)
+    query = exponential_query(length=16)
+    norm = ewma_weights_sum(16)
+
+    errs_swat, errs_exact, errs_naive = [], [], []
+    for i, v in enumerate(stream[:-1]):
+        tree.update(v)
+        truth.update(v)
+        if i < WINDOW:
+            continue
+        target = stream[i + 1]
+        window = truth.values_newest_first()
+        forecast_swat = tree.answer(query).value / norm
+        forecast_exact = query.evaluate(window) / norm
+        forecast_naive = window[0]
+        errs_swat.append(abs(forecast_swat - target))
+        errs_exact.append(abs(forecast_exact - target))
+        errs_naive.append(abs(forecast_naive - target))
+
+    mae = lambda xs: float(np.mean(xs))  # noqa: E731 - tiny local alias
+    print(f"one-step-ahead banner-hit forecasts over {len(errs_swat)} intervals\n")
+    print(f"{'predictor':<28} {'MAE':>8}")
+    print(f"{'EWMA from SWAT summary':<28} {mae(errs_swat):>8.3f}")
+    print(f"{'EWMA from exact window':<28} {mae(errs_exact):>8.3f}")
+    print(f"{'naive last value':<28} {mae(errs_naive):>8.3f}")
+    gap = (mae(errs_swat) - mae(errs_exact)) / mae(errs_exact)
+    print(f"\nthe summary-based forecast is within {gap * 100:.2f}% of the "
+          f"exact-window forecast while storing {tree.memory_coefficients} "
+          f"coefficients instead of {WINDOW} raw values")
+
+
+if __name__ == "__main__":
+    main()

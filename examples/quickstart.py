@@ -1,0 +1,58 @@
+"""Quickstart: summarize a stream with SWAT and query it three ways.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import RangeQuery, Swat, exponential_query, point_query
+from repro.data import random_walk_stream
+
+
+def main() -> None:
+    # A SWAT over a sliding window of the last 256 values, one Haar
+    # coefficient per node (the paper's configuration).
+    tree = Swat(window_size=256)
+
+    stream = random_walk_stream(2000, step=1.5, seed=42)
+    for value in stream:
+        tree.update(value)
+
+    window = stream[-256:][::-1]  # ground truth, newest-first
+
+    print(f"tree: {tree!r}")
+    print(f"nodes: {tree.num_nodes} (= 3 log N - 2), "
+          f"coefficients stored: {tree.memory_coefficients} "
+          f"for a window of {tree.window_size} values\n")
+
+    # 1. Point query: "what was the value 10 steps ago?"
+    q = point_query(10, precision=5.0)
+    ans = tree.answer(q)
+    print(f"point query d_10:      approx {ans.value:8.3f}   true {window[10]:8.3f}")
+
+    # 2. Exponential inner-product query: recency-biased aggregate.
+    q = exponential_query(length=32, precision=10.0)
+    ans = tree.answer(q)
+    true = q.evaluate(window)
+    print(f"exponential query:     approx {ans.value:8.3f}   true {true:8.3f}   "
+          f"relative error {abs(ans.value - true) / abs(true):.2e}")
+
+    # 3. Range query: "when in the last 100 steps was the value near the
+    # current level?"
+    level = float(window[0])
+    rq = RangeQuery(value=level, radius=3.0, t_start=0, t_end=100)
+    hits = tree.answer_range(rq)
+    print(f"range query [{level - 3:.0f}, {level + 3:.0f}] over last 100 steps: "
+          f"{len(hits)} matching indices")
+    print("first few:", [(i, round(v, 1)) for i, v in hits[:5]])
+
+    # The whole-window approximation and its error profile.
+    rec = tree.reconstruct_window()
+    err = np.abs(rec - window)
+    print(f"\nwindow reconstruction: mean abs err {err.mean():.2f} "
+          f"(recent 16: {err[:16].mean():.2f}, oldest 16: {err[-16:].mean():.2f}) "
+          f"- error is biased away from recent values, as designed")
+
+
+if __name__ == "__main__":
+    main()

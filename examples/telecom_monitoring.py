@@ -1,0 +1,86 @@
+"""Telecom network monitoring — the paper's motivating scenario.
+
+A switch handles a large number of connections per minute and emits a call
+detail record (CDR) volume every second.  An analyst keeps a SWAT summary of
+the last 1024 seconds and asks recency-biased questions without storing the
+raw stream.  The script contrasts SWAT with the Guha-Koudas histogram on the
+same stream: accuracy per query and time per query.
+
+Run:  python examples/telecom_monitoring.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import HistogramSummary, Swat, exponential_query
+from repro.metrics import GroundTruthWindow
+
+WINDOW = 1024
+RNG = np.random.default_rng(7)
+
+
+def cdr_volume_stream(n: int) -> np.ndarray:
+    """Synthetic per-second call volumes: diurnal load + bursts + noise."""
+    t = np.arange(n)
+    diurnal = 60.0 + 35.0 * np.sin(2 * np.pi * t / 86_400 * 40)  # compressed day
+    noise = RNG.normal(0, 4.0, n)
+    bursts = np.zeros(n)
+    for start in RNG.choice(n, size=max(1, n // 800), replace=False):
+        length = int(RNG.integers(20, 90))
+        bursts[start : start + length] += RNG.uniform(25, 60)
+    return np.clip(diurnal + noise + bursts, 0.0, None)
+
+
+def main() -> None:
+    stream = cdr_volume_stream(6000)
+    tree = Swat(WINDOW)
+    hist = HistogramSummary(WINDOW, n_buckets=30, eps=0.1)
+    truth = GroundTruthWindow(WINDOW)
+
+    # Recency-biased load indicator: recent seconds dominate.
+    query = exponential_query(length=64)
+
+    swat_err, hist_err = [], []
+    swat_time = hist_time = 0.0
+    n_queries = 0
+    for i, v in enumerate(stream):
+        tree.update(v)
+        hist.update(v)
+        truth.update(v)
+        if i < 2 * WINDOW or i % 200 != 0:
+            continue
+        exact = query.evaluate(truth.values_newest_first())
+        t0 = time.perf_counter()
+        swat_ans = tree.answer(query).value
+        swat_time += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        hist_ans = hist.answer(query)
+        hist_time += time.perf_counter() - t0
+        swat_err.append(abs(swat_ans - exact) / abs(exact))
+        hist_err.append(abs(hist_ans - exact) / abs(exact))
+        n_queries += 1
+
+    print(f"monitored {stream.size} seconds of CDR volume, window = {WINDOW}s, "
+          f"{n_queries} recency-biased load queries\n")
+    print(f"{'technique':<12} {'avg rel error':>14} {'avg time/query':>16}")
+    print(f"{'SWAT':<12} {np.mean(swat_err):>14.5f} {swat_time / n_queries:>14.4f} s")
+    print(f"{'Histogram':<12} {np.mean(hist_err):>14.5f} {hist_time / n_queries:>14.4f} s")
+    print(f"\nSWAT is {np.mean(hist_err) / np.mean(swat_err):.1f}x more accurate and "
+          f"{(hist_time / swat_time):.0f}x faster on this workload, while storing "
+          f"{tree.memory_coefficients} coefficients instead of the {WINDOW}-value window.")
+
+    # Burst detection with a range query: find recent seconds near peak load.
+    from repro import RangeQuery
+
+    window_vals = truth.values_newest_first()
+    high = float(np.percentile(window_vals, 90))
+    spread = float(window_vals.max() - high)
+    rq = RangeQuery(value=high, radius=spread, t_start=0, t_end=WINDOW - 1)
+    hits = tree.answer_range(rq)
+    print(f"\nrange query: {len(hits)} window positions in the top decile of "
+          f"load (>= {high:.0f} calls/s) - the burst periods")
+
+
+if __name__ == "__main__":
+    main()

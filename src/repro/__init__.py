@@ -1,0 +1,59 @@
+"""repro — reproduction of "SWAT: Hierarchical Stream Summarization in Large
+Networks" (Bulut & Singh, ICDE 2003).
+
+Public API highlights:
+
+* :class:`repro.Swat` — the multi-resolution wavelet approximation tree;
+* :mod:`repro.core.queries` — point / range / inner-product query model;
+* :class:`repro.HistogramSummary` — the Guha-Koudas histogram baseline;
+* :class:`repro.SwatAsr`, :class:`repro.DivergenceCaching`,
+  :class:`repro.AdaptivePrecision` — the replication protocols of §3-4;
+* :mod:`repro.experiments` — one driver per paper figure.
+"""
+
+from .core import (
+    ContinuousQueryEngine,
+    GrowingSwat,
+    InnerProductQuery,
+    QueryAnswer,
+    RangeQuery,
+    StreamEnsemble,
+    Swat,
+    exponential_query,
+    linear_query,
+    point_query,
+)
+from .histogram import HistogramSummary
+from .network import Topology
+from .replication import (
+    AdaptivePrecision,
+    DivergenceCaching,
+    ReplicationConfig,
+    SwatAsr,
+    make_protocol,
+    run_replication,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Swat",
+    "QueryAnswer",
+    "GrowingSwat",
+    "ContinuousQueryEngine",
+    "StreamEnsemble",
+    "InnerProductQuery",
+    "RangeQuery",
+    "point_query",
+    "exponential_query",
+    "linear_query",
+    "HistogramSummary",
+    "Topology",
+    "SwatAsr",
+    "DivergenceCaching",
+    "AdaptivePrecision",
+    "ReplicationConfig",
+    "run_replication",
+    "make_protocol",
+    "__version__",
+]

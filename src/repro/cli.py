@@ -1,0 +1,195 @@
+"""Command-line interface: regenerate any paper figure from the shell.
+
+Usage::
+
+    python -m repro list                  # what can be regenerated
+    python -m repro fig4c                 # run one experiment, print its table
+    python -m repro fig9c --quick         # scaled-down version
+    python -m repro all --quick           # everything
+
+The heavy lifting lives in :mod:`repro.experiments`; this module only maps
+figure ids to drivers and formats the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from .experiments import (
+    fig4a_relative_error,
+    fig4c_levels_sweep,
+    fig5_error_comparison,
+    fig6a_maintenance_time,
+    fig6b_response_time,
+    fig9a_rate_sweep,
+    fig9c_precision_sweep,
+    fig10a_client_sweep,
+    fig10b_precision_sweep_multi,
+    format_table,
+    space_complexity,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig4a(quick: bool) -> str:
+    out = fig4a_relative_error(n_points=2000 if quick else 10_000)
+    rel = out["relative"]
+    rows = [
+        {"metric": "queries", "value": rel.size},
+        {"metric": "mean relative error", "value": float(out["mean"])},
+        {"metric": "final cumulative error", "value": float(out["cumulative"][-1])},
+        {"metric": "p95 relative error", "value": float(np.percentile(rel, 95))},
+    ]
+    return format_table(rows, "Figure 4(a)/(b): fixed exponential query, N=256")
+
+
+def _fig4c(quick: bool) -> str:
+    rows = fig4c_levels_sweep(n_points=1500 if quick else 6000)
+    return format_table(rows, "Figure 4(c): avg abs error vs maintained levels, N=512")
+
+
+def _fig5(quick: bool) -> str:
+    every = 256 if quick else 48
+    parts = []
+    parts.append(format_table(
+        fig5_error_comparison(data="real", mode="fixed", eps_values=(0.1,), query_every=every),
+        "Figure 5(a)/(b): real, fixed mode, eps=0.1"))
+    parts.append(format_table(
+        fig5_error_comparison(data="synthetic", mode="fixed", eps_values=(0.001,),
+                              n_points=3000, query_every=every),
+        "Figure 5(c): synthetic, fixed mode, eps=0.001"))
+    parts.append(format_table(
+        fig5_error_comparison(data="real", mode="random",
+                              eps_values=(0.1, 0.01, 0.001), query_every=every),
+        "Figure 5(d)/(e): real, random mode, eps sweep"))
+    parts.append(format_table(
+        fig5_error_comparison(data="synthetic", mode="random", eps_values=(0.001,),
+                              n_points=3000, query_every=every),
+        "Figure 5(f): synthetic, random mode, eps=0.001"))
+    return "\n\n".join(parts)
+
+
+def _fig6a(quick: bool) -> str:
+    sizes = (20_000, 100_000) if quick else (100_000, 1_000_000, 4_000_000)
+    return format_table(fig6a_maintenance_time(sizes=sizes),
+                        "Figure 6(a): maintenance time (no queries)")
+
+
+def _fig6b(quick: bool) -> str:
+    out = fig6b_response_time(
+        n_queries=20 if quick else 100,
+        n_hist_queries=1 if quick else 3,
+        hist_method="search",
+    )
+    rows = [
+        {"technique": "SWAT", "seconds_per_query": out["swat_seconds"]},
+        {"technique": "Histogram", "seconds_per_query": out["hist_seconds"]},
+        {"technique": "speed-up", "seconds_per_query": out["speedup"]},
+    ]
+    return format_table(rows, "Figure 6(b): query response time, N=1024, B=30, eps=0.1")
+
+
+def _fig9a(quick: bool) -> str:
+    t = 200.0 if quick else 800.0
+    return format_table(fig9a_rate_sweep(data="real", measure_time=t),
+                        "Figure 9(a): messages vs T_d/T_q, real data")
+
+
+def _fig9b(quick: bool) -> str:
+    t = 200.0 if quick else 800.0
+    return format_table(fig9a_rate_sweep(data="synthetic", measure_time=t),
+                        "Figure 9(b): messages vs T_d/T_q, synthetic data")
+
+
+def _fig9c(quick: bool) -> str:
+    t = 200.0 if quick else 800.0
+    return format_table(fig9c_precision_sweep(measure_time=t),
+                        "Figure 9(c): messages vs precision, T_q=1, T_d=2")
+
+
+def _fig10a(quick: bool) -> str:
+    counts = (2, 6) if quick else (2, 6, 14, 30)
+    t = 120.0 if quick else 400.0
+    return format_table(fig10a_client_sweep(client_counts=counts, measure_time=t),
+                        "Figure 10(a): messages vs #clients, binary tree")
+
+
+def _fig10b(quick: bool) -> str:
+    t = 120.0 if quick else 400.0
+    return format_table(fig10b_precision_sweep_multi(measure_time=t),
+                        "Figure 10(b): messages vs precision, 6 clients")
+
+
+def _space(quick: bool) -> str:
+    return format_table(space_complexity(), "Section 5.1: space complexity")
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "fig4a": _fig4a,
+    "fig4c": _fig4c,
+    "fig5": _fig5,
+    "fig6a": _fig6a,
+    "fig6b": _fig6b,
+    "fig9a": _fig9a,
+    "fig9b": _fig9b,
+    "fig9c": _fig9c,
+    "fig10a": _fig10a,
+    "fig10b": _fig10b,
+    "space": _space,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the SWAT paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'all', 'report', or 'list'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="scaled-down, much faster runs"
+    )
+    parser.add_argument(
+        "-o", "--output", default=None, help="for 'report': write markdown here"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from .experiments.report import generate_report
+
+        text = generate_report(quick=args.quick, progress=lambda m: print(m, file=sys.stderr))
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text)
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+        return 0
+
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("  all")
+        return 0
+    if args.experiment == "all":
+        for name, fn in EXPERIMENTS.items():
+            print(fn(args.quick))
+            print()
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    print(EXPERIMENTS[args.experiment](args.quick))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""SWAT core: the approximation tree, query model, and error analysis."""
+
+from .continuous import ContinuousQueryEngine, Subscription
+from .coverage import Cover, CoverageError, build_cover
+from .growing import GrowingSwat
+from .multi import StreamEnsemble
+from .errors import (
+    drift_segment_errors,
+    exponential_level_bound,
+    exponential_query_bound,
+    linear_level_bound,
+    linear_query_bound,
+)
+from .node import Role, SwatNode
+from .queries import (
+    InnerProductQuery,
+    RangeQuery,
+    exponential_query,
+    linear_query,
+    point_query,
+)
+from .swat import QueryAnswer, Swat
+
+__all__ = [
+    "Swat",
+    "QueryAnswer",
+    "GrowingSwat",
+    "ContinuousQueryEngine",
+    "Subscription",
+    "StreamEnsemble",
+    "SwatNode",
+    "Role",
+    "Cover",
+    "CoverageError",
+    "build_cover",
+    "InnerProductQuery",
+    "RangeQuery",
+    "point_query",
+    "exponential_query",
+    "linear_query",
+    "exponential_level_bound",
+    "exponential_query_bound",
+    "linear_level_bound",
+    "linear_query_bound",
+    "drift_segment_errors",
+]

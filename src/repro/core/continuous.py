@@ -1,0 +1,115 @@
+"""Continuous queries over a SWAT (the Section 2.1 extension).
+
+"Our queries are one-time, but we can extend our algorithms to continuous
+queries quite easily."  :class:`ContinuousQueryEngine` wraps a summary and a
+set of standing inner-product queries; after each arrival every standing
+query is re-evaluated and its subscriber notified when the answer moved by
+more than the subscription's ``report_delta`` since the last notification —
+the push analogue of the precision-bounded one-time query.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional
+
+from .queries import InnerProductQuery
+from .swat import Swat
+
+__all__ = ["Subscription", "ContinuousQueryEngine"]
+
+Callback = Callable[[int, float], None]
+
+
+class Subscription:
+    """A standing query registration."""
+
+    def __init__(self, sub_id: int, query: InnerProductQuery, callback: Callback,
+                 report_delta: float):
+        self.sub_id = sub_id
+        self.query = query
+        self.callback = callback
+        self.report_delta = report_delta
+        self.last_reported: Optional[float] = None
+        self.notifications = 0
+        self.evaluations = 0
+
+    def consider(self, now: int, answer: float) -> bool:
+        """Notify the subscriber if the answer drifted past ``report_delta``."""
+        self.evaluations += 1
+        if (
+            self.last_reported is None
+            or abs(answer - self.last_reported) > self.report_delta
+        ):
+            self.last_reported = answer
+            self.notifications += 1
+            self.callback(now, answer)
+            return True
+        return False
+
+
+class ContinuousQueryEngine:
+    """Standing inner-product queries over a stream summary.
+
+    Parameters
+    ----------
+    tree:
+        The :class:`Swat` to maintain; the engine owns its updates (call
+        :meth:`update` here instead of on the tree).
+    """
+
+    def __init__(self, tree: Swat):
+        self.tree = tree
+        self._subs: Dict[int, Subscription] = {}
+        self._ids = itertools.count(1)
+
+    def register(
+        self,
+        query: InnerProductQuery,
+        callback: Callback,
+        report_delta: float = 0.0,
+    ) -> int:
+        """Add a standing query; returns a subscription id.
+
+        ``report_delta`` throttles notifications: the callback fires only
+        when the answer moved by more than this amount since the last fire
+        (0.0 = every change, including the first evaluation).
+        """
+        if report_delta < 0:
+            raise ValueError("report_delta must be non-negative")
+        if query.max_index >= self.tree.window_size:
+            raise ValueError(
+                f"query addresses index {query.max_index} outside the "
+                f"window of {self.tree.window_size}"
+            )
+        sub_id = next(self._ids)
+        self._subs[sub_id] = Subscription(sub_id, query, callback, report_delta)
+        return sub_id
+
+    def unregister(self, sub_id: int) -> None:
+        if sub_id not in self._subs:
+            raise KeyError(f"no subscription {sub_id}")
+        del self._subs[sub_id]
+
+    @property
+    def active_subscriptions(self) -> int:
+        return len(self._subs)
+
+    def subscription(self, sub_id: int) -> Subscription:
+        return self._subs[sub_id]
+
+    def update(self, value: float) -> int:
+        """Ingest one value; evaluate standing queries; return #notifications."""
+        self.tree.update(value)
+        fired = 0
+        for sub in self._subs.values():
+            if sub.query.max_index >= self.tree.size:
+                continue  # stream still too short for this query
+            answer = self.tree.answer(sub.query).value
+            if sub.consider(self.tree.time, answer):
+                fired += 1
+        return fired
+
+    def extend(self, values) -> int:
+        """Ingest many values; returns total notifications fired."""
+        return sum(self.update(v) for v in values)

@@ -1,0 +1,82 @@
+"""Closed-form error bounds from Section 2.6 of the paper.
+
+The analysis assumes a linear-drift stream (each arrival differs from the
+previous one by ``eps``) and a 1-coefficient Haar tree, and bounds the
+weighted error contributed by a single level-``l`` node to a query:
+
+* exponential weights: each level contributes at most ``2 * eps``, so a
+  length-``M`` query incurs ``O(eps * log M)`` total error (Equation 2);
+* linear weights: level ``l`` contributes at most ``4^l * eps``, so the total
+  is ``O(eps * M^2)`` (Equation 3).
+
+These are exposed both for documentation and as oracles for the empirical
+tests in ``tests/test_error_bounds.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "exponential_level_bound",
+    "exponential_query_bound",
+    "linear_level_bound",
+    "linear_query_bound",
+    "drift_segment_errors",
+]
+
+
+def exponential_level_bound(eps: float, level: int) -> float:
+    """Weighted error a level-``level`` node adds to an exponential query.
+
+    The paper's derivation telescopes to at most ``2 * eps`` independent of
+    the level (the exponentially decaying weights cancel the exponentially
+    growing per-point error).
+    """
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    if level < 0:
+        raise ValueError("level must be non-negative")
+    return 2.0 * eps
+
+
+def exponential_query_bound(eps: float, length: int) -> float:
+    """Total bound for an exponential inner-product query of ``length`` points.
+
+    ``sum_{l=0}^{ceil(log M)} 2 eps = 2 eps (ceil(log M) + 1) = O(eps log M)``.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    top = math.ceil(math.log2(length)) if length > 1 else 0
+    return 2.0 * eps * (top + 1)
+
+
+def linear_level_bound(eps: float, level: int) -> float:
+    """Weighted error a level-``level`` node adds to a linear query: ``4^l eps``."""
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    if level < 0:
+        raise ValueError("level must be non-negative")
+    return (4.0**level) * eps
+
+
+def linear_query_bound(eps: float, length: int) -> float:
+    """Total bound for a linear inner-product query: ``sum 4^l eps = O(eps M^2)``."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    top = math.ceil(math.log2(length)) if length > 1 else 0
+    return eps * (4.0 ** (top + 1) - 1.0) / 3.0
+
+
+def drift_segment_errors(eps: float, segment_length: int) -> list:
+    """Per-point absolute error of a 1-coefficient (average) summary under drift.
+
+    For a segment ``d_i = d_0 + i * eps`` of ``2^{l+1}`` points summarized by
+    its average ``d_0 + (len - 1) eps / 2``, point ``i`` incurs error
+    ``|i - (len - 1)/2| * eps`` — the paper's worked example for ``R_2``
+    (errors ``3.5 eps, 2.5 eps, 1.5 eps, 0.5 eps`` mirrored).
+    """
+    if segment_length < 1:
+        raise ValueError("segment_length must be >= 1")
+    mid = (segment_length - 1) / 2.0
+    return [abs(i - mid) * eps for i in range(segment_length)]

@@ -1,0 +1,136 @@
+"""Multiple streams: the Section 6 future-work direction.
+
+"Our future work will explore possible variations of the proposed technique
+in case of multiple streams.  We plan to develop efficient techniques to
+find correlations over multiple data streams."
+
+:class:`StreamEnsemble` maintains one SWAT per stream and estimates pairwise
+Pearson correlation **from the summaries alone** (reconstructed windows), so
+correlation monitoring costs ``O(k log N)`` memory per stream instead of
+``O(N)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .swat import Swat
+
+__all__ = ["StreamEnsemble"]
+
+
+class StreamEnsemble:
+    """A set of synchronized streams summarized by per-stream SWATs.
+
+    Parameters
+    ----------
+    window_size:
+        Sliding window size shared by all streams.
+    k:
+        Coefficients per node for each summary (more coefficients give
+        sharper correlation estimates).
+    """
+
+    def __init__(self, window_size: int, k: int = 4):
+        self.window_size = window_size
+        self.k = k
+        self._trees: Dict[str, Swat] = {}
+
+    # ------------------------------------------------------------ management
+
+    def add_stream(self, name: str) -> Swat:
+        """Register a new stream; returns its summary tree."""
+        if name in self._trees:
+            raise ValueError(f"stream {name!r} already registered")
+        tree = Swat(self.window_size, k=self.k)
+        self._trees[name] = tree
+        return tree
+
+    def remove_stream(self, name: str) -> None:
+        if name not in self._trees:
+            raise KeyError(f"no stream {name!r}")
+        del self._trees[name]
+
+    @property
+    def streams(self) -> List[str]:
+        return sorted(self._trees)
+
+    def tree(self, name: str) -> Swat:
+        return self._trees[name]
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+    @property
+    def memory_coefficients(self) -> int:
+        """Total coefficients across all summaries."""
+        return sum(t.memory_coefficients for t in self._trees.values())
+
+    # --------------------------------------------------------------- updates
+
+    def update(self, values: Mapping[str, float]) -> None:
+        """Ingest one synchronized tick: ``{stream_name: value}``.
+
+        Every registered stream must receive a value each tick so windows
+        stay aligned (correlation needs index-aligned reconstructions).
+        """
+        missing = set(self._trees) - set(values)
+        if missing:
+            raise ValueError(f"missing values for streams {sorted(missing)}")
+        unknown = set(values) - set(self._trees)
+        if unknown:
+            raise KeyError(f"unknown streams {sorted(unknown)}")
+        for name, value in values.items():
+            self._trees[name].update(float(value))
+
+    def extend(self, rows: Iterable[Mapping[str, float]]) -> None:
+        for row in rows:
+            self.update(row)
+
+    # ----------------------------------------------------------- correlation
+
+    def correlation(self, a: str, b: str, length: Optional[int] = None) -> float:
+        """Pearson correlation of streams ``a`` and ``b`` from their summaries.
+
+        ``length`` restricts the estimate to the most recent ``length``
+        indices (defaults to the full window) — recent correlation is exactly
+        the recency-biased question the summaries are good at.
+        """
+        ta, tb = self._trees[a], self._trees[b]
+        n = min(ta.size, tb.size)
+        if length is not None:
+            if length < 2:
+                raise ValueError("length must be >= 2")
+            n = min(n, length)
+        if n < 2:
+            raise ValueError("not enough data for a correlation estimate")
+        idx = list(range(n))
+        xa = self._trees[a].estimates(idx)
+        xb = self._trees[b].estimates(idx)
+        sa, sb = xa.std(), xb.std()
+        # Reconstruction of a constant stream carries ~1e-15 float noise;
+        # treat (relatively) negligible variance as "no signal".
+        if sa <= 1e-9 * (1.0 + abs(float(xa.mean()))) or sb <= 1e-9 * (
+            1.0 + abs(float(xb.mean()))
+        ):
+            return 0.0
+        return float(np.corrcoef(xa, xb)[0, 1])
+
+    def correlation_matrix(self, length: Optional[int] = None) -> Tuple[List[str], np.ndarray]:
+        """All pairwise correlations; returns (names, matrix)."""
+        names = self.streams
+        m = np.eye(len(names))
+        for i, a in enumerate(names):
+            for j in range(i + 1, len(names)):
+                m[i, j] = m[j, i] = self.correlation(a, names[j], length=length)
+        return names, m
+
+    def most_correlated(self, name: str, length: Optional[int] = None) -> Tuple[str, float]:
+        """The stream most correlated with ``name`` (absolute value)."""
+        others = [s for s in self.streams if s != name]
+        if not others:
+            raise ValueError("need at least two streams")
+        best = max(others, key=lambda o: abs(self.correlation(name, o, length=length)))
+        return best, self.correlation(name, best, length=length)

@@ -1,0 +1,507 @@
+"""SWAT — Stream summarization using a Wavelet-based Approximation Tree.
+
+This is the paper's primary contribution (Section 2).  A :class:`Swat` over a
+sliding window of ``N = 2^n`` values keeps ``n`` levels of approximations;
+level ``l`` has up to three nodes (*Right*, *Shift*, *Left*) of ``k`` wavelet
+coefficients each, except the topmost level which needs only *Right* — giving
+the paper's ``3 log N - 2`` node count.  Level ``l`` refreshes every ``2^l``
+arrivals by the shift pipeline of Figure 3(a)::
+
+    contents(L_l) := contents(S_l)
+    contents(S_l) := contents(R_l)
+    contents(R_l) := DWT(R_{l-1}, L_{l-1})
+
+so the amortized per-arrival maintenance cost is ``O(k)`` and the space is
+``O(k log N)``.
+
+Usage::
+
+    tree = Swat(window_size=256)
+    for value in stream:
+        tree.update(value)
+    ans = tree.answer(exponential_query(length=16))
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..wavelets.haar import (
+    combine_haar,
+    haar_average,
+    largest_coefficients,
+    leaf_coeffs,
+    sparse_combine,
+)
+from ..wavelets.transform import full_decompose, is_power_of_two, truncate
+from .coverage import Cover, build_cover
+from .node import Role, SwatNode
+from .queries import InnerProductQuery, RangeQuery
+
+__all__ = ["Swat", "QueryAnswer"]
+
+
+class QueryAnswer:
+    """Result of an inner-product query against a :class:`Swat`.
+
+    Attributes
+    ----------
+    value:
+        The approximate inner product.
+    estimates:
+        Per-query-index approximations, aligned with the query's ``indices``.
+    nodes_used:
+        The cover set ``V`` (for diagnostics / the paper's complexity claims).
+    n_extrapolated:
+        How many indices had to be answered by clamping to the nearest
+        segment of a reduced-level tree (0 for a full tree).
+    """
+
+    __slots__ = ("value", "estimates", "nodes_used", "n_extrapolated", "error_bound")
+
+    def __init__(self, value, estimates, nodes_used, n_extrapolated, error_bound=None):
+        self.value = value
+        self.estimates = estimates
+        self.nodes_used = nodes_used
+        self.n_extrapolated = n_extrapolated
+        # Certified bound on |true - value| (only when the tree tracks
+        # per-node deviations); None when not tracked.
+        self.error_bound = error_bound
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __repr__(self) -> str:
+        return f"QueryAnswer(value={self.value!r}, nodes={len(self.nodes_used)})"
+
+
+class Swat:
+    """Multi-resolution sliding-window summary of a data stream.
+
+    Parameters
+    ----------
+    window_size:
+        Sliding window length ``N``; must be a power of two, at least 4.
+    k:
+        Wavelet coefficients retained per node (``k = 1`` keeps the segment
+        average — the configuration of every experiment in the paper).
+    wavelet:
+        Basis name (see :func:`repro.wavelets.available_wavelets`).  Haar
+        nodes combine in ``O(k)``; other bases use the generic
+        reconstruct-and-retransform combine described in Section 2.2.
+    min_level:
+        Coarsest-resolution mode of Section 2.5: maintain only levels
+        ``min_level .. log2(N) - 1``.  Queries about values newer than the
+        coarsest maintained segment are answered by clamped extrapolation and
+        carry correspondingly larger error.
+    use_raw_leaves:
+        The paper's Figure 3(a) footnote makes the raw values ``d_0`` and
+        ``d_1`` part of the tree (as ``R_{-1}`` and ``L_{-1}``): they are
+        required update state, so queries serve window indices 0 and 1 from
+        them exactly.  This is what makes exponentially weighted queries over
+        the most recent values so accurate in the paper's experiments.  Set
+        False to answer purely from level >= 0 approximations (the
+        illustrative cover of Section 2.4).  Ignored (off) when
+        ``min_level > 0``, where the paper's reduced tree is the whole story.
+    track_deviation:
+        Maintain a certified per-node bound on max |true - reconstruction|
+        (Section 3's "range denoting the maximum deviation").  Answers then
+        carry an ``error_bound`` and :meth:`can_answer` checks a query's
+        precision requirement.  Defined for 1-coefficient Haar trees.
+    selection:
+        Which ``k`` coefficients a node retains: ``"first"`` (the coarsest
+        ``k``, the paper's default reading) or ``"largest"`` (the top-``k``
+        by magnitude — the classical Gilbert et al. choice; better on bursty
+        data, needs position bookkeeping).  Haar only for ``"largest"``.
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        k: int = 1,
+        wavelet: str = "haar",
+        min_level: int = 0,
+        use_raw_leaves: bool = True,
+        track_deviation: bool = False,
+        selection: str = "first",
+    ):
+        if not is_power_of_two(window_size) or window_size < 4:
+            raise ValueError(f"window_size must be a power of two >= 4, got {window_size}")
+        n_levels = int(math.log2(window_size))
+        if not 0 <= min_level < n_levels:
+            raise ValueError(f"min_level must be in [0, {n_levels - 1}], got {min_level}")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if track_deviation and (k != 1 or wavelet not in ("haar", "db1")):
+            raise ValueError(
+                "deviation tracking is defined for 1-coefficient Haar trees "
+                "(the Section 3 setting)"
+            )
+        if selection not in ("first", "largest"):
+            raise ValueError(f"selection must be 'first' or 'largest', got {selection!r}")
+        if selection == "largest" and wavelet not in ("haar", "db1"):
+            raise ValueError("largest-k selection is implemented for the Haar basis")
+        if selection == "largest" and track_deviation:
+            raise ValueError(
+                "deviation tracking uses the first-k (k=1) layout; largest-k "
+                "with k=1 is identical to it anyway"
+            )
+        self.selection = selection
+        self.track_deviation = bool(track_deviation)
+        self.window_size = window_size
+        self.k = int(k)
+        self.wavelet = wavelet
+        self.min_level = int(min_level)
+        self.use_raw_leaves = bool(use_raw_leaves) and min_level == 0
+        self.n_levels = n_levels
+        self._is_haar = wavelet in ("haar", "db1")
+        self._time = 0
+        # Raw ring buffer feeding the coarsest maintained level; for
+        # min_level == 0 it is just the last two values (the paper's
+        # "R_{-1} and L_{-1} are data values d_0 and d_1").
+        self._buffer: deque = deque(maxlen=1 << (min_level + 1))
+        # levels[l] maps role -> node; the top level only has R.
+        self._levels: List[Dict[str, SwatNode]] = []
+        for level in range(n_levels):
+            roles = (Role.RIGHT,) if level == n_levels - 1 else Role.SCAN_ORDER
+            self._levels.append({role: SwatNode(level, role) for role in roles})
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def time(self) -> int:
+        """Total number of arrivals observed."""
+        return self._time
+
+    @property
+    def size(self) -> int:
+        """Number of window indices currently valid (min(time, N))."""
+        return min(self._time, self.window_size)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count: the paper's ``3 log N - 2``."""
+        return sum(len(lv) for lv in self._levels[self.min_level :])
+
+    @property
+    def memory_coefficients(self) -> int:
+        """Stored coefficients across maintained, filled nodes (space metric)."""
+        return sum(
+            node.coeffs.size
+            for lv in self._levels[self.min_level :]
+            for node in lv.values()
+            if node.is_filled
+        )
+
+    def node(self, level: int, role: str) -> SwatNode:
+        """Access a node by level and role (``"R"``, ``"S"``, ``"L"``)."""
+        return self._levels[level][role]
+
+    def nodes(self) -> List[SwatNode]:
+        """Maintained nodes in the paper's scan order (level asc, R, S, L)."""
+        out: List[SwatNode] = []
+        for level in range(self.min_level, self.n_levels):
+            lv = self._levels[level]
+            out.extend(lv[role] for role in Role.SCAN_ORDER if role in lv)
+        return out
+
+    @property
+    def is_warm(self) -> bool:
+        """True once every maintained node holds an approximation."""
+        return all(node.is_filled for node in self.nodes())
+
+    # ---------------------------------------------------------------- updates
+
+    def update(self, value: float) -> None:
+        """Ingest one stream value (the Update_Tree procedure of Figure 3(a))."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"stream values must be finite, got {value!r}")
+        self._time += 1
+        t = self._time
+        self._buffer.append(value)
+        max_level = min(_trailing_zeros(t), self.n_levels - 1)
+        for level in range(self.min_level, max_level + 1):
+            lv = self._levels[level]
+            if Role.SHIFT in lv:  # all but the top level
+                lv[Role.LEFT].copy_from(lv[Role.SHIFT])
+                lv[Role.SHIFT].copy_from(lv[Role.RIGHT])
+            fresh = self._fresh_right(level, t)
+            if fresh is not None:
+                coeffs, deviation, positions = fresh
+                lv[Role.RIGHT].set_contents(coeffs, t, deviation, positions)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Ingest many values in arrival order."""
+        for v in values:
+            self.update(v)
+
+    def _fresh_right(self, level: int, t: int):
+        """New contents of ``R_level``: ``(coeffs, deviation, positions)``.
+
+        ``deviation`` is a certified bound on max |true - reconstruction|
+        over the node's segment when ``track_deviation`` is on, else None;
+        ``positions`` carries the retained flat positions for largest-k
+        trees, else None.
+        """
+        if level == self.min_level:
+            seg_len = 1 << (level + 1)
+            if len(self._buffer) < seg_len:
+                return None  # cold start: segment not fully observed yet
+            if level == 0 and self._is_haar and self.selection == "first":
+                # Hot path: level 0 refreshes on *every* arrival; avoid the
+                # generic transform machinery for its two-point segment.
+                newer, older = self._buffer[-1], self._buffer[-2]
+                deviation = abs(newer - older) / 2.0 if self.track_deviation else None
+                return leaf_coeffs(newer, older, self.k), deviation, None
+            segment = np.fromiter(self._buffer, dtype=np.float64, count=seg_len)
+            flat = full_decompose(segment, self.wavelet)
+            deviation = None
+            if self.track_deviation:
+                deviation = float(np.abs(segment - segment.mean()).max())
+            if self.selection == "largest":
+                positions, coeffs = largest_coefficients(flat, self.k)
+                return coeffs, deviation, positions
+            return truncate(flat, self.k), deviation, None
+        below = self._levels[level - 1]
+        older, newer = below[Role.LEFT], below[Role.RIGHT]
+        if not (older.is_filled and newer.is_filled):
+            return None
+        if self.selection == "largest":
+            positions, coeffs = sparse_combine(
+                older.positions, older.coeffs, newer.positions, newer.coeffs, self.k
+            )
+            return coeffs, None, positions
+        if self._is_haar:
+            coeffs = combine_haar(older.coeffs, newer.coeffs, self.k)
+            deviation = None
+            if self.track_deviation:
+                # Sound k=1 bound: a point errs by at most its child's
+                # deviation plus the child-vs-parent mean shift.
+                parent_avg = haar_average(coeffs, 1 << (level + 1))
+                deviation = max(
+                    older.deviation + abs(older.average() - parent_avg),
+                    newer.deviation + abs(newer.average() - parent_avg),
+                )
+            return coeffs, deviation, None
+        joined = np.concatenate([older.reconstruct(self.wavelet), newer.reconstruct(self.wavelet)])
+        return truncate(full_decompose(joined, self.wavelet), self.k), None, None
+
+    # ---------------------------------------------------------------- queries
+
+    def cover(self, indices: Iterable[int]) -> Cover:
+        """Cover set ``V`` for the given window indices (Figure 3(b), first loop)."""
+        wanted = list(indices)
+        bad = [i for i in wanted if not 0 <= i < self.size]
+        if bad:
+            raise IndexError(
+                f"window indices {bad} out of range [0, {self.size - 1}] "
+                f"(stream has seen {self._time} values)"
+            )
+        return build_cover(
+            self.nodes(), wanted, self._time, allow_extrapolation=self.min_level > 0
+        )
+
+    def estimates(self, indices: Sequence[int]) -> np.ndarray:
+        """Approximate values for the given window indices.
+
+        Indices 0 and 1 are served exactly from the raw leaves ``R_{-1}`` and
+        ``L_{-1}`` when ``use_raw_leaves`` is on; everything else comes from
+        the cover set's inverse transforms.
+        """
+        values, __, __ = self._estimate(list(indices))
+        return values
+
+    def _estimate(self, indices: List[int]):
+        """Estimates plus the cover diagnostics for the given indices."""
+        bad = [i for i in indices if not 0 <= i < self.size]
+        if bad:
+            raise IndexError(
+                f"window indices {bad} out of range [0, {self.size - 1}] "
+                f"(stream has seen {self._time} values)"
+            )
+        by_index = self._raw_leaf_values(indices)
+        remaining = [i for i in indices if i not in by_index]
+        nodes_used: List[SwatNode] = []
+        n_extrapolated = 0
+        if remaining:
+            cover = self.cover(remaining)
+            extracted = self._extract(cover, remaining)
+            by_index.update(zip(remaining, extracted))
+            nodes_used = cover.nodes
+            n_extrapolated = len(cover.extrapolated)
+        values = np.array([by_index[i] for i in indices], dtype=np.float64)
+        return values, nodes_used, n_extrapolated
+
+    def _raw_leaf_values(self, indices: Sequence[int]) -> Dict[int, float]:
+        """Exact values for indices covered by the raw leaves (d_0, d_1)."""
+        if not self.use_raw_leaves:
+            return {}
+        out: Dict[int, float] = {}
+        n_raw = min(len(self._buffer), 2, self.size)
+        for i in indices:
+            if 0 <= i < n_raw:
+                out[i] = self._buffer[-1 - i]
+        return out
+
+    def _extract(self, cover: Cover, indices: List[int]) -> np.ndarray:
+        by_index: Dict[int, float] = {}
+        extrapolated = set(cover.extrapolated)
+        for node, assigned in cover.assignments.items():
+            signal = node.reconstruct(self.wavelet)
+            lo, hi = node.relative_segment(self._time)
+            for i in assigned:
+                if i in extrapolated:
+                    # Clamp to the nearest end of the node's segment.
+                    pos = node.segment_length - 1 if i < lo else 0
+                else:
+                    pos = node.position_of(i, self._time)
+                by_index[i] = float(signal[pos])
+        return np.array([by_index[i] for i in indices], dtype=np.float64)
+
+    def answer(self, query: InnerProductQuery) -> QueryAnswer:
+        """Answer an inner-product (or point) query approximately.
+
+        With ``track_deviation`` on, the result carries a certified
+        ``error_bound``; :meth:`can_answer` compares it to the query's
+        precision requirement.
+        """
+        est, nodes_used, n_extrapolated = self._estimate(list(query.indices))
+        value = float(np.dot(np.asarray(query.weights, dtype=np.float64), est))
+        bound = None
+        if self.track_deviation:
+            bound = self._certified_bound(query, n_extrapolated)
+        return QueryAnswer(value, est, nodes_used, n_extrapolated, bound)
+
+    def _certified_bound(self, query: InnerProductQuery, n_extrapolated: int) -> float:
+        """Sum of per-index deviations weighted by the query (inf if any
+        index had to be extrapolated — those carry no certificate)."""
+        if n_extrapolated:
+            return float("inf")
+        weights = dict(zip(query.indices, query.weights))
+        raw = self._raw_leaf_values(list(query.indices))
+        remaining = [i for i in query.indices if i not in raw]
+        bound = 0.0
+        if remaining:
+            cover = self.cover(remaining)
+            for node, assigned in cover.assignments.items():
+                if node.deviation is None:
+                    return float("inf")
+                for i in assigned:
+                    bound += weights[i] * node.deviation
+        return bound
+
+    def can_answer(self, query: InnerProductQuery) -> bool:
+        """True when the certified error bound meets the query precision."""
+        if not self.track_deviation:
+            raise ValueError("construct the tree with track_deviation=True")
+        return self.answer(query).error_bound <= query.precision
+
+    def point_estimate(self, index: int) -> float:
+        """Approximate value of the stream at window index ``index``."""
+        return float(self.estimates([index])[0])
+
+    def answer_range(self, query: RangeQuery) -> List[tuple]:
+        """Answer a range query (Section 2.4).
+
+        Returns ``(index, approx_value)`` pairs for window indices in
+        ``[t_start, t_end]`` whose approximation falls inside the query's
+        value band.  The approximation tree induces a step function in
+        time-value space; this returns the points on the intersection of that
+        step function with the query rectangle.
+        """
+        hi = min(query.t_end, self.size - 1)
+        if hi < query.t_start:
+            return []
+        indices = list(range(query.t_start, hi + 1))
+        est = self.estimates(indices)
+        return [(i, float(v)) for i, v in zip(indices, est) if query.matches(v)]
+
+    def reconstruct_window(self) -> np.ndarray:
+        """Approximation of the whole current window, newest-first."""
+        if self.size == 0:
+            return np.empty(0, dtype=np.float64)
+        return self.estimates(list(range(self.size)))
+
+    # ----------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Checkpoint the summary as a JSON-serializable dict.
+
+        Captures everything :meth:`from_state` needs to resume the stream
+        mid-flight: configuration, the arrival clock, the raw ring buffer,
+        and each filled node's coefficients and end time.
+        """
+        nodes = []
+        for level, lv in enumerate(self._levels):
+            for role, node in lv.items():
+                if node.is_filled:
+                    nodes.append(
+                        {
+                            "level": level,
+                            "role": role,
+                            "end_time": node.end_time,
+                            "coeffs": [float(c) for c in node.coeffs],
+                            "deviation": node.deviation,
+                            "positions": (
+                                None
+                                if node.positions is None
+                                else [int(p) for p in node.positions]
+                            ),
+                        }
+                    )
+        return {
+            "window_size": self.window_size,
+            "k": self.k,
+            "wavelet": self.wavelet,
+            "min_level": self.min_level,
+            "use_raw_leaves": self.use_raw_leaves,
+            "track_deviation": self.track_deviation,
+            "selection": self.selection,
+            "time": self._time,
+            "buffer": [float(v) for v in self._buffer],
+            "nodes": nodes,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Swat":
+        """Restore a summary checkpointed by :meth:`to_state`."""
+        try:
+            tree = cls(
+                state["window_size"],
+                k=state["k"],
+                wavelet=state["wavelet"],
+                min_level=state["min_level"],
+                use_raw_leaves=state["use_raw_leaves"],
+                track_deviation=state.get("track_deviation", False),
+                selection=state.get("selection", "first"),
+            )
+            tree._time = int(state["time"])
+            tree._buffer.extend(float(v) for v in state["buffer"])
+            for entry in state["nodes"]:
+                node = tree._levels[entry["level"]][entry["role"]]
+                positions = entry.get("positions")
+                node.set_contents(
+                    np.asarray(entry["coeffs"], dtype=np.float64),
+                    int(entry["end_time"]),
+                    entry.get("deviation"),
+                    None if positions is None else np.asarray(positions, dtype=np.int64),
+                )
+        except (KeyError, IndexError, TypeError) as exc:
+            raise ValueError(f"malformed Swat state: {exc}") from exc
+        return tree
+
+    def __repr__(self) -> str:
+        return (
+            f"Swat(N={self.window_size}, k={self.k}, wavelet={self.wavelet!r}, "
+            f"levels={self.min_level}..{self.n_levels - 1}, t={self._time})"
+        )
+
+
+def _trailing_zeros(t: int) -> int:
+    """Number of trailing zero bits of ``t >= 1`` (the update ruler sequence)."""
+    return (t & -t).bit_length() - 1

@@ -1,0 +1,93 @@
+"""Loading user-supplied stream data.
+
+The library's experiments default to the built-in datasets, but any
+real-world series — e.g. an actual weather export in CSV form — can be
+dropped in anywhere an array is accepted.  These helpers cover the common
+shapes: a plain one-value-per-line file and a CSV column.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["load_series", "save_series"]
+
+PathLike = Union[str, Path]
+
+
+def load_series(
+    path: PathLike,
+    column: Optional[str] = None,
+    skip_bad: bool = False,
+) -> np.ndarray:
+    """Load a numeric series from a text or CSV file.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    column:
+        If given, the file is parsed as a CSV with a header row and this
+        column is extracted; otherwise each non-empty line must be a single
+        number.
+    skip_bad:
+        If True, non-numeric / non-finite entries are skipped; otherwise
+        they raise ``ValueError`` with the offending line number.
+    """
+    path = Path(path)
+    values = []
+    if column is None:
+        with path.open() as fh:
+            for lineno, line in enumerate(fh, start=1):
+                text = line.strip()
+                if not text:
+                    continue
+                value = _parse(text, lineno, skip_bad)
+                if value is not None:
+                    values.append(value)
+    else:
+        with path.open(newline="") as fh:
+            reader = csv.DictReader(fh)
+            if reader.fieldnames is None or column not in reader.fieldnames:
+                raise ValueError(
+                    f"column {column!r} not in header {reader.fieldnames}"
+                )
+            for lineno, row in enumerate(reader, start=2):
+                value = _parse(row[column], lineno, skip_bad)
+                if value is not None:
+                    values.append(value)
+    if not values:
+        raise ValueError(f"no usable values in {path}")
+    return np.asarray(values, dtype=np.float64)
+
+
+def _parse(text: str, lineno: int, skip_bad: bool) -> Optional[float]:
+    try:
+        value = float(text)
+    except (TypeError, ValueError):
+        if skip_bad:
+            return None
+        raise ValueError(f"line {lineno}: not a number: {text!r}") from None
+    if not math.isfinite(value):
+        if skip_bad:
+            return None
+        raise ValueError(f"line {lineno}: non-finite value {value!r}")
+    return value
+
+
+def save_series(path: PathLike, values, column: Optional[str] = None) -> None:
+    """Write a series back out (one value per line, or a one-column CSV)."""
+    path = Path(path)
+    arr = np.asarray(values, dtype=np.float64)
+    with path.open("w", newline="") as fh:
+        if column is not None:
+            writer = csv.writer(fh)
+            writer.writerow([column])
+            writer.writerows([[v] for v in arr])
+        else:
+            fh.writelines(f"{v}\n" for v in arr)

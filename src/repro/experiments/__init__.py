@@ -1,0 +1,39 @@
+"""Experiment drivers, one per paper figure (see DESIGN.md's experiment index)."""
+
+from .centralized import (
+    dataset,
+    fig4a_relative_error,
+    fig4c_levels_sweep,
+    fig5_error_comparison,
+    fig6a_maintenance_time,
+    fig6b_response_time,
+    format_table,
+    run_error_experiment,
+)
+from .report import generate_report
+from .distributed import (
+    fig9a_rate_sweep,
+    fig9c_precision_sweep,
+    fig10a_client_sweep,
+    fig10b_precision_sweep_multi,
+    replication_dataset,
+    space_complexity,
+)
+
+__all__ = [
+    "dataset",
+    "fig4a_relative_error",
+    "fig4c_levels_sweep",
+    "fig5_error_comparison",
+    "fig6a_maintenance_time",
+    "fig6b_response_time",
+    "format_table",
+    "run_error_experiment",
+    "fig9a_rate_sweep",
+    "fig9c_precision_sweep",
+    "fig10a_client_sweep",
+    "fig10b_precision_sweep_multi",
+    "replication_dataset",
+    "space_complexity",
+    "generate_report",
+]

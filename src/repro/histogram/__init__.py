@@ -1,0 +1,20 @@
+"""Histogram baseline: Guha-Koudas approximate histograms (batch, query-time
+sliding-window rebuild, and native per-arrival incremental maintenance)."""
+
+from .approx import approximate_histogram, breakpoint_positions
+from .incremental import IncrementalHistogram
+from .prefix import PrefixStats
+from .summarizer import HistogramSummary
+from .vopt import Bucket, Histogram, sse_of_partition, vopt_histogram
+
+__all__ = [
+    "approximate_histogram",
+    "breakpoint_positions",
+    "PrefixStats",
+    "HistogramSummary",
+    "IncrementalHistogram",
+    "Bucket",
+    "Histogram",
+    "vopt_histogram",
+    "sse_of_partition",
+]

@@ -1,0 +1,194 @@
+"""Incremental approximate histograms over a growing stream (Guha & Koudas,
+ICDE 2002 — the paper's reference [8], in its native *prefix stream* form).
+
+The SWAT paper's experiments use the sliding-window adaptation (rebuild the
+restricted DP at query time; :mod:`repro.histogram.approx`).  This module
+implements the algorithm the way [8] describes it: per-arrival maintenance.
+
+For each bucket count ``kk`` the structure stores a *breakpoint list* — the
+positions where the (non-decreasing) approximate error curve ``E[kk][.]``
+last grew by a factor ``(1 + delta)`` — and, on every arrival ``n``,
+evaluates ``E[kk][n]`` against the level-``kk - 1`` breakpoints only.  Each
+arrival therefore costs ``O(B * rho)`` where ``rho`` is the breakpoint count
+(``O((1/delta) log(error range))``), and a ``B``-bucket histogram of the
+whole prefix can be extracted at any moment by backtracking the lists.
+
+Compounding one ``(1 + delta)`` factor per level and one more for the gap
+between stored breakpoints gives a ``(1 + delta)^{2B}``-approximation;
+``delta`` is chosen as ``eps / (4 B)`` so the overall factor stays within
+``(1 + eps)`` for the usual parameter ranges.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+
+from .vopt import Bucket, Histogram
+
+__all__ = ["IncrementalHistogram"]
+
+
+class _Level:
+    """Breakpoint list for one bucket count: positions and their errors.
+
+    Candidates must satisfy the batch algorithm's property — for every
+    position ``i`` there is a candidate ``b >= i`` whose error is within
+    ``(1 + delta)`` of ``E[i]`` — so what gets stored is the *last* position
+    of each geometric error band.  Incrementally that means tracking the
+    current band's most recent position (``pending``) and committing it the
+    moment the curve exits the band.
+    """
+
+    __slots__ = ("positions", "errors", "last_error", "_band_base", "_pending")
+
+    def __init__(self):
+        self.positions: List[int] = []
+        self.errors: List[float] = []
+        self.last_error = 0.0  # E[kk][n] at the current prefix length
+        self._band_base = 0.0
+        self._pending: Tuple[int, float] = (0, 0.0)
+
+    def observe(self, position: int, error: float, growth: float) -> None:
+        """Record ``E[kk][position] = error`` (non-decreasing in position)."""
+        in_band = (
+            error <= self._band_base * growth
+            if self._band_base > 0.0
+            else error == 0.0
+        )
+        if in_band:
+            self._pending = (position, error)
+        else:
+            self.positions.append(self._pending[0])
+            self.errors.append(self._pending[1])
+            self._band_base = error
+            self._pending = (position, error)
+
+    def candidates(self):
+        """Stored band-end positions plus the current band's last position."""
+        yield from zip(self.positions, self.errors)
+        yield self._pending
+
+    @property
+    def stored(self) -> int:
+        return len(self.positions) + 1
+
+
+class IncrementalHistogram:
+    """Per-arrival ``(1 + eps)``-approximate B-bucket histogram of a prefix stream.
+
+    Parameters
+    ----------
+    n_buckets:
+        Bucket budget ``B``.
+    eps:
+        Overall approximation slack.
+    """
+
+    def __init__(self, n_buckets: int = 8, eps: float = 0.1):
+        if n_buckets < 1:
+            raise ValueError("n_buckets must be >= 1")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.n_buckets = n_buckets
+        self.eps = eps
+        self._growth = 1.0 + eps / (4.0 * n_buckets)
+        self._csum: List[float] = [0.0]
+        self._csq: List[float] = [0.0]
+        self._levels: List[_Level] = [_Level() for __ in range(n_buckets)]
+
+    @property
+    def size(self) -> int:
+        """Number of stream values observed."""
+        return len(self._csum) - 1
+
+    @property
+    def breakpoint_count(self) -> int:
+        """Total stored breakpoints (the space the algorithm actually uses)."""
+        return sum(level.stored for level in self._levels)
+
+    def _sse(self, i: int, j: int) -> float:
+        if j <= i:
+            return 0.0
+        s = self._csum[j] - self._csum[i]
+        sq = self._csq[j] - self._csq[i]
+        return max(0.0, sq - s * s / (j - i))
+
+    def update(self, value: float) -> None:
+        """Ingest one value: extend every level's error curve by one position."""
+        v = float(value)
+        if not math.isfinite(v):
+            raise ValueError(f"stream values must be finite, got {v!r}")
+        self._csum.append(self._csum[-1] + v)
+        self._csq.append(self._csq[-1] + v * v)
+        n = self.size
+        # Level 1: a single bucket over the whole prefix.
+        level1 = self._levels[0]
+        level1.last_error = self._sse(0, n)
+        level1.observe(n, level1.last_error, self._growth)
+        # Levels 2..B: restricted minimisation over the level below's list.
+        for kk in range(1, self.n_buckets):
+            below = self._levels[kk - 1]
+            best = below.last_error  # empty-bucket option (i == n)
+            for pos, err in below.candidates():
+                if pos >= n:
+                    continue
+                total = err + self._sse(pos, n)
+                if total < best:
+                    best = total
+            level = self._levels[kk]
+            level.last_error = best
+            level.observe(n, best, self._growth)
+
+    def extend(self, values) -> None:
+        for v in values:
+            self.update(v)
+
+    def error_estimate(self) -> float:
+        """The maintained (approximate) optimal SSE with ``B`` buckets."""
+        if self.size == 0:
+            return 0.0
+        return self._levels[-1].last_error
+
+    def histogram(self) -> Histogram:
+        """Extract the current B-bucket histogram by backtracking the lists."""
+        n = self.size
+        if n == 0:
+            return Histogram([], 0.0)
+        cuts: List[int] = []
+        j = n
+        for kk in range(self.n_buckets - 1, 0, -1):
+            below = self._levels[kk - 1]
+            # The empty-bucket option is only known exactly at the prefix end.
+            if j == n:
+                best_val, best_pos = below.last_error, j
+            else:
+                best_val, best_pos = float("inf"), j
+            for pos, err in below.candidates():
+                if pos > j:
+                    continue
+                total = err + self._sse(pos, j)
+                if total < best_val:
+                    best_val = total
+                    best_pos = pos
+            if best_pos != j:
+                cuts.append(best_pos)
+            j = best_pos
+            if j == 0:
+                break
+        bounds = [0] + sorted(set(cuts)) + [n]
+        buckets: List[Bucket] = []
+        total = 0.0
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            if b > a:
+                mean = (self._csum[b] - self._csum[a]) / (b - a)
+                buckets.append(Bucket(a, b, float(mean)))
+                total += self._sse(a, b)
+        return Histogram(buckets, total)
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalHistogram(B={self.n_buckets}, eps={self.eps}, "
+            f"n={self.size}, breakpoints={self.breakpoint_count})"
+        )

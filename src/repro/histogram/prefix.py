@@ -1,0 +1,101 @@
+"""Sliding-window prefix statistics for histogram construction.
+
+Per the paper's Section 2.7: "the Histogram technique computes only the sum
+and the squared sum with every arrival; the rest of the summary is computed
+at every query".  This class is that per-arrival state: amortized O(1)
+ingestion, O(1) SSE of any window interval.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["PrefixStats"]
+
+
+class PrefixStats:
+    """Running prefix sums/squared-sums over a sliding window.
+
+    Window *positions* are oldest-first: position 0 is the oldest retained
+    value, position ``size - 1`` the newest.  (Window *indices* elsewhere in
+    the library are newest-first; callers convert with
+    ``pos = size - 1 - index``.)
+    """
+
+    def __init__(self, window_size: int):
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self.window_size = window_size
+        self._values: list = []
+        self._csum: list = [0.0]
+        self._csq: list = [0.0]
+        self._start = 0  # logical start of the window inside the arrays
+
+    def update(self, value: float) -> None:
+        """Ingest one arrival: O(1) amortized (occasional compaction)."""
+        v = float(value)
+        if v != v or v in (float("inf"), float("-inf")):
+            raise ValueError(f"stream values must be finite, got {v!r}")
+        self._values.append(v)
+        self._csum.append(self._csum[-1] + v)
+        self._csq.append(self._csq[-1] + v * v)
+        if len(self._values) - self._start > self.window_size:
+            self._start += 1
+        if self._start > 4 * self.window_size:
+            self._compact()
+
+    def _compact(self) -> None:
+        self._values = self._values[self._start :]
+        base_sum = self._csum[self._start]
+        base_sq = self._csq[self._start]
+        self._csum = [c - base_sum for c in self._csum[self._start :]]
+        self._csq = [c - base_sq for c in self._csq[self._start :]]
+        self._start = 0
+
+    @property
+    def size(self) -> int:
+        """Number of values currently in the window."""
+        return len(self._values) - self._start
+
+    def value_at(self, pos: int) -> float:
+        """Window value at oldest-first position ``pos``."""
+        if not 0 <= pos < self.size:
+            raise IndexError(f"position {pos} out of range [0, {self.size - 1}]")
+        return self._values[self._start + pos]
+
+    def window(self) -> np.ndarray:
+        """The window contents, oldest-first."""
+        return np.asarray(self._values[self._start :], dtype=np.float64)
+
+    def interval_sum(self, i: int, j: int) -> float:
+        """Sum of positions ``i..j-1`` (half-open, oldest-first)."""
+        self._check(i, j)
+        return self._csum[self._start + j] - self._csum[self._start + i]
+
+    def interval_sq_sum(self, i: int, j: int) -> float:
+        """Sum of squares over positions ``i..j-1``."""
+        self._check(i, j)
+        return self._csq[self._start + j] - self._csq[self._start + i]
+
+    def sse(self, i: int, j: int) -> float:
+        """Sum of squared errors of approximating positions ``i..j-1`` by their mean."""
+        self._check(i, j)
+        if j == i:
+            return 0.0
+        s = self.interval_sum(i, j)
+        sq = self.interval_sq_sum(i, j)
+        return max(0.0, sq - s * s / (j - i))
+
+    def prefix_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(csum, csq)`` arrays of length ``size + 1`` for vectorised DP."""
+        lo = self._start
+        hi = lo + self.size
+        csum = np.asarray(self._csum[lo : hi + 1], dtype=np.float64)
+        csq = np.asarray(self._csq[lo : hi + 1], dtype=np.float64)
+        return csum - csum[0], csq - csq[0]
+
+    def _check(self, i: int, j: int) -> None:
+        if not 0 <= i <= j <= self.size:
+            raise IndexError(f"interval [{i}, {j}) out of range for size {self.size}")

@@ -1,0 +1,13 @@
+"""Evaluation metrics: error series, ground truth windows, timing."""
+
+from .error import ErrorSeries, GroundTruthWindow, absolute_error, relative_error
+from .timing import Stopwatch, time_call
+
+__all__ = [
+    "ErrorSeries",
+    "GroundTruthWindow",
+    "absolute_error",
+    "relative_error",
+    "Stopwatch",
+    "time_call",
+]

@@ -1,0 +1,59 @@
+"""Wall-clock timing helpers for the running-time experiments (Figure 6)."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["Stopwatch", "time_call"]
+
+
+class Stopwatch:
+    """Accumulating stopwatch; usable as a context manager.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(10))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self.count = 0
+        self._start: Optional[float] = None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch is not running")
+        delta = time.perf_counter() - self._start
+        self.elapsed += delta
+        self.count += 1
+        self._start = None
+        return delta
+
+    @property
+    def mean(self) -> float:
+        """Average duration per timed section."""
+        if self.count == 0:
+            raise ValueError("nothing timed yet")
+        return self.elapsed / self.count
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def time_call(fn: Callable, *args, **kwargs) -> tuple:
+    """Run ``fn(*args, **kwargs)`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

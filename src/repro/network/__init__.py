@@ -1,0 +1,19 @@
+"""Network substrate: topologies, message accounting, segment directories."""
+
+from .directory import Directory, DirectoryRow, Segment, window_segments
+from .messages import MessageKind, MessageStats
+from .topology import SOURCE, Topology
+from .transport import Envelope, Transport
+
+__all__ = [
+    "Directory",
+    "DirectoryRow",
+    "Segment",
+    "window_segments",
+    "MessageKind",
+    "MessageStats",
+    "Topology",
+    "SOURCE",
+    "Envelope",
+    "Transport",
+]

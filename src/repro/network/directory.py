@@ -1,0 +1,146 @@
+"""The segment directory of Table 1.
+
+SWAT-ASR partitions the sliding window into the canonical level-0
+approximation partition: ``(0,1), (2,3), (4,7), (8,15), ..., (N/2, N-1)`` —
+``log N`` rows, one per level except level 0 which contributes two (exactly
+Table 1 for ``N = 16``).  Each row carries the window segment, the cached
+range approximation, and the subscription list of children holding a replica.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..wavelets.transform import is_power_of_two
+
+__all__ = ["Segment", "window_segments", "DirectoryRow", "Directory"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A window segment ``[newest, oldest]`` in newest-first window indices."""
+
+    newest: int
+    oldest: int
+
+    def __post_init__(self):
+        if not 0 <= self.newest <= self.oldest:
+            raise ValueError(f"invalid segment ({self.newest}, {self.oldest})")
+
+    @property
+    def length(self) -> int:
+        return self.oldest - self.newest + 1
+
+    def indices(self) -> range:
+        return range(self.newest, self.oldest + 1)
+
+    def __contains__(self, index: int) -> bool:
+        return self.newest <= index <= self.oldest
+
+    def __str__(self) -> str:
+        return f"({self.newest},{self.oldest})"
+
+
+def window_segments(window_size: int) -> List[Segment]:
+    """The canonical directory partition of a size-``N`` window.
+
+    ``(0,1), (2,3)`` then doubling dyadic blocks up to ``(N/2, N-1)`` —
+    ``log2(N)`` segments total, matching Table 1.
+    """
+    if not is_power_of_two(window_size) or window_size < 4:
+        raise ValueError(f"window_size must be a power of two >= 4, got {window_size}")
+    segments = [Segment(0, 1), Segment(2, 3)]
+    lo = 4
+    while lo < window_size:
+        segments.append(Segment(lo, 2 * lo - 1))
+        lo *= 2
+    assert len(segments) == int(math.log2(window_size))
+    return segments
+
+
+@dataclass
+class DirectoryRow:
+    """One directory row: segment, cached range, subscriber bookkeeping.
+
+    Besides Table 1's three columns, a row carries the per-phase counters the
+    expansion/contraction tests of Figure 8(b) need: an *interested* list of
+    children that queried but are not subscribed, per-child read counts, the
+    local read count, and the (non-enclosed) write count.
+    """
+
+    segment: Segment
+    approx: Optional[Tuple[float, float]] = None
+    subscribed: Set[str] = field(default_factory=set)
+    interested: Set[str] = field(default_factory=set)
+    read_counts: Dict[str, int] = field(default_factory=dict)
+    local_reads: int = 0
+    write_count: int = 0
+
+    @property
+    def is_cached(self) -> bool:
+        return self.approx is not None
+
+    @property
+    def width(self) -> float:
+        """Precision offered for the segment (range width); inf if uncached."""
+        if self.approx is None:
+            return float("inf")
+        return self.approx[1] - self.approx[0]
+
+    @property
+    def midpoint(self) -> float:
+        if self.approx is None:
+            raise ValueError(f"segment {self.segment} is not cached")
+        return (self.approx[0] + self.approx[1]) / 2.0
+
+    def encloses(self, new_range: Tuple[float, float]) -> bool:
+        """True if the stored range encloses ``new_range`` (no propagation needed)."""
+        if self.approx is None:
+            return False
+        return self.approx[0] <= new_range[0] and new_range[1] <= self.approx[1]
+
+    def note_read(self, child: str) -> None:
+        """Record a read from ``child`` (Figure 8(a)'s satisfied-query branch)."""
+        if child not in self.subscribed and child not in self.interested:
+            self.interested.add(child)
+        self.read_counts[child] = self.read_counts.get(child, 0) + 1
+
+    def reset_counts(self) -> None:
+        """Phase boundary: clear read and write counters."""
+        self.read_counts.clear()
+        self.local_reads = 0
+        self.write_count = 0
+
+
+class Directory:
+    """Per-site directory: one :class:`DirectoryRow` per window segment."""
+
+    def __init__(self, window_size: int):
+        self.window_size = window_size
+        self.rows: Dict[Segment, DirectoryRow] = {
+            seg: DirectoryRow(seg) for seg in window_segments(window_size)
+        }
+
+    @property
+    def segments(self) -> List[Segment]:
+        return list(self.rows)
+
+    def row(self, segment: Segment) -> DirectoryRow:
+        return self.rows[segment]
+
+    def segment_of(self, index: int) -> Segment:
+        """The directory segment containing window index ``index``."""
+        for seg in self.rows:
+            if index in seg:
+                return seg
+        raise IndexError(f"window index {index} outside [0, {self.window_size - 1}]")
+
+    def cached_count(self) -> int:
+        """Number of cached approximations at this site (space metric, §5.1)."""
+        return sum(1 for row in self.rows.values() if row.is_cached)
+
+    def __repr__(self) -> str:
+        cached = ", ".join(str(s) for s, r in self.rows.items() if r.is_cached)
+        return f"Directory(N={self.window_size}, cached=[{cached}])"

@@ -1,0 +1,68 @@
+"""Message kinds and cost accounting for the replication experiments.
+
+All three protocols are scored by the same metric the paper uses: the number
+of inter-site messages, counted per hop along the spanning tree (the ADR cost
+model).  Kinds are tracked separately so experiments can break totals down.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+__all__ = ["MessageKind", "MessageStats"]
+
+
+class MessageKind:
+    """Message taxonomy shared by SWAT-ASR, Divergence Caching, and APS."""
+
+    QUERY = "query"  # read request forwarded one hop toward the source
+    RESPONSE = "response"  # answer travelling one hop back to the reader
+    UPDATE = "update"  # approximation refresh pushed to a subscriber
+    INSERT = "insert"  # replica grant (a site joins a replication scheme)
+    UNSUBSCRIBE = "unsubscribe"  # a site leaves a replication scheme
+
+    ALL = (QUERY, RESPONSE, UPDATE, INSERT, UNSUBSCRIBE)
+
+    # Data-bearing kinds cost 1 in the Divergence Caching formula; the rest
+    # are control messages with cost ``w``.
+    DATA_KINDS = frozenset({RESPONSE, UPDATE, INSERT})
+
+
+class MessageStats:
+    """Per-kind hop counters."""
+
+    def __init__(self):
+        self._counts: Counter = Counter()
+
+    def record(self, kind: str, hops: int = 1) -> None:
+        if kind not in MessageKind.ALL:
+            raise ValueError(f"unknown message kind {kind!r}")
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        self._counts[kind] += hops
+
+    def count(self, kind: str) -> int:
+        return self._counts[kind]
+
+    @property
+    def total(self) -> int:
+        """Total messages across all kinds (the paper's cost metric)."""
+        return sum(self._counts.values())
+
+    def weighted_total(self, control_cost: float = 1.0) -> float:
+        """Total with control messages weighted by ``control_cost`` (DC's ``w``)."""
+        total = 0.0
+        for kind, n in self._counts.items():
+            total += n * (1.0 if kind in MessageKind.DATA_KINDS else control_cost)
+        return total
+
+    def snapshot(self) -> Dict[str, int]:
+        return {kind: self._counts[kind] for kind in MessageKind.ALL}
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items() if v)
+        return f"MessageStats({parts or 'empty'})"

@@ -1,0 +1,129 @@
+"""Network topologies for the replication experiments (Section 5).
+
+The replication protocols run on a spanning tree rooted at the source site
+``S``; the paper's multi-client topology is "a complete binary tree with the
+source at the root" and the worked example of Section 3 uses the small tree
+of Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["Topology", "SOURCE"]
+
+SOURCE = "S"
+
+
+class Topology:
+    """A rooted tree of sites.
+
+    Parameters
+    ----------
+    parent:
+        Maps each node id to its parent id; exactly one node (the source)
+        maps to ``None``.
+    """
+
+    def __init__(self, parent: Dict[str, Optional[str]]):
+        roots = [n for n, p in parent.items() if p is None]
+        if len(roots) != 1:
+            raise ValueError(f"topology must have exactly one root, got {roots}")
+        self.root = roots[0]
+        self._parent = dict(parent)
+        self._children: Dict[str, List[str]] = {n: [] for n in parent}
+        for node, par in parent.items():
+            if par is not None:
+                if par not in parent:
+                    raise ValueError(f"parent {par!r} of {node!r} is not a node")
+                self._children[par].append(node)
+        # Cycle / reachability check.
+        seen = set()
+        stack = [self.root]
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                raise ValueError("topology contains a cycle")
+            seen.add(u)
+            stack.extend(self._children[u])
+        if seen != set(parent):
+            raise ValueError("topology is not connected")
+
+    @property
+    def nodes(self) -> List[str]:
+        """All node ids, root first, in BFS order."""
+        out, frontier = [], [self.root]
+        while frontier:
+            out.extend(frontier)
+            frontier = [c for u in frontier for c in self._children[u]]
+        return out
+
+    @property
+    def clients(self) -> List[str]:
+        """All non-root nodes (the query-issuing sites)."""
+        return [n for n in self.nodes if n != self.root]
+
+    def parent(self, node: str) -> Optional[str]:
+        return self._parent[node]
+
+    def children(self, node: str) -> List[str]:
+        return list(self._children[node])
+
+    def depth(self, node: str) -> int:
+        """Hop count from ``node`` to the root."""
+        d = 0
+        while self._parent[node] is not None:
+            node = self._parent[node]
+            d += 1
+        return d
+
+    def path_to_root(self, node: str) -> List[str]:
+        """Nodes from ``node`` (inclusive) up to the root (inclusive)."""
+        path = [node]
+        while self._parent[path[-1]] is not None:
+            path.append(self._parent[path[-1]])
+        return path
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._parent
+
+    # ---------------------------------------------------------- constructors
+
+    @staticmethod
+    def single_client() -> "Topology":
+        """One server, one client — the Section 5.2 setting."""
+        return Topology({SOURCE: None, "C1": SOURCE})
+
+    @staticmethod
+    def star(n_clients: int) -> "Topology":
+        """``n_clients`` clients all directly attached to the source."""
+        if n_clients < 1:
+            raise ValueError("need at least one client")
+        parent: Dict[str, Optional[str]] = {SOURCE: None}
+        for i in range(1, n_clients + 1):
+            parent[f"C{i}"] = SOURCE
+        return Topology(parent)
+
+    @staticmethod
+    def complete_binary_tree(n_clients: int) -> "Topology":
+        """Source at the root of a complete binary tree of ``n_clients`` clients.
+
+        Clients are laid out in heap order: ``C1, C2`` are the source's
+        children, ``C3, C4`` are ``C1``'s, and so on (Section 5.3).
+        """
+        if n_clients < 1:
+            raise ValueError("need at least one client")
+        parent: Dict[str, Optional[str]] = {SOURCE: None}
+        for i in range(1, n_clients + 1):
+            parent[f"C{i}"] = SOURCE if i <= 2 else f"C{(i - 1) // 2}"
+        return Topology(parent)
+
+    @staticmethod
+    def paper_example() -> "Topology":
+        """The Figure 7 topology used in the Section 3 walk-through."""
+        return Topology(
+            {SOURCE: None, "C1": SOURCE, "C2": SOURCE, "C3": "C1", "C4": "C1"}
+        )

@@ -1,0 +1,32 @@
+"""Replication layer: SWAT-ASR plus the two competing caching techniques."""
+
+from .adr import AdrObject
+from .aps import AdaptivePrecision
+from .asr import SwatAsr
+from .async_asr import AsyncSwatAsr
+from .base import ReplicationProtocol, uniform_tolerance
+from .divergence import EVENT_WINDOW, DivergenceCaching, optimal_refresh_width
+from .harness import (
+    PROTOCOLS,
+    ReplicationConfig,
+    ReplicationResult,
+    make_protocol,
+    run_replication,
+)
+
+__all__ = [
+    "AdaptivePrecision",
+    "AdrObject",
+    "SwatAsr",
+    "AsyncSwatAsr",
+    "ReplicationProtocol",
+    "uniform_tolerance",
+    "DivergenceCaching",
+    "optimal_refresh_width",
+    "EVENT_WINDOW",
+    "ReplicationConfig",
+    "ReplicationResult",
+    "run_replication",
+    "make_protocol",
+    "PROTOCOLS",
+]

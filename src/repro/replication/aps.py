@@ -1,0 +1,121 @@
+"""Adaptive Precision Setting (Olston, Widom & Loo; Section 4.2).
+
+Caches an interval ``[L, H]`` per client per window item:
+
+* **value-initiated refresh** — when a write moves the value outside the
+  cached interval, the server ships a re-centred interval *enlarged* by
+  ``(1 + alpha)``;
+* **query-initiated refresh** — when a read's precision requirement beats
+  the cached width, the query goes to the server, which ships a re-centred
+  interval *shrunk* by ``(1 + alpha)``.
+
+The paper runs it with the recommended settings ``alpha = 1``,
+``tau_inf = inf``, ``tau_0 = 2``, ``p = 1``: widths double under write
+pressure and halve under read pressure; widths below ``tau_0`` snap to exact
+caching, and growth from an exact cache restarts at ``tau_0`` (the interval
+must widen for the scheme to adapt, per the paper's description of APS
+"choosing bigger intervals that approach the upper threshold").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.queries import InnerProductQuery
+from ..network.messages import MessageKind
+from ..network.topology import Topology
+from .base import ReplicationProtocol, per_index_tolerances
+
+__all__ = ["AdaptivePrecision"]
+
+
+class AdaptivePrecision(ReplicationProtocol):
+    """APS over a spanning tree, one cached interval per window item."""
+
+    name = "APS"
+
+    def __init__(
+        self,
+        topology: Topology,
+        window_size: int,
+        value_range: Tuple[float, float] = (0.0, 100.0),
+        alpha: float = 1.0,
+        tau_0: float = 2.0,
+        tau_inf: float = float("inf"),
+    ):
+        super().__init__(topology, window_size)
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if tau_0 < 0 or tau_inf < tau_0:
+            raise ValueError("need 0 <= tau_0 <= tau_inf")
+        lo, hi = value_range
+        if hi <= lo:
+            raise ValueError("value_range must be non-degenerate")
+        self.alpha = alpha
+        self.tau_0 = tau_0
+        self.tau_inf = tau_inf
+        self.value_low = lo
+        self.max_range = hi - lo
+        # Per client: interval bounds per item.  Width == max_range behaves
+        # like an uncached item (no write ever escapes, tight reads miss).
+        self.lo: Dict[str, np.ndarray] = {}
+        self.hi: Dict[str, np.ndarray] = {}
+        for c in topology.clients:
+            self.lo[c] = np.zeros(window_size, dtype=np.float64)
+            self.hi[c] = np.full(window_size, self.max_range, dtype=np.float64)
+
+    # ------------------------------------------------------------- data path
+
+    def _propagate(self, value: float, now: float) -> None:
+        vals = self.window.values_newest_first() - self.value_low
+        for client in self.topology.clients:
+            lo, hi = self.lo[client], self.hi[client]
+            escaped = (vals < lo) | (vals > hi)
+            n = int(np.count_nonzero(escaped))
+            if n:
+                widths = hi[escaped] - lo[escaped]
+                new_widths = np.maximum(widths * (1.0 + self.alpha), self.tau_0)
+                new_widths = np.minimum(new_widths, self.tau_inf)
+                new_widths = np.minimum(new_widths, self.max_range)
+                lo[escaped] = vals[escaped] - new_widths / 2.0
+                hi[escaped] = vals[escaped] + new_widths / 2.0
+                self.stats.record(MessageKind.UPDATE, n * self._hops(client))
+
+    # ------------------------------------------------------------ query path
+
+    def on_query(self, client: str, query: InnerProductQuery, now: float = 0.0) -> float:
+        if not self.is_warm:
+            raise RuntimeError("stream window not yet full; warm up before querying")
+        tolerances = per_index_tolerances(query)
+        lo, hi = self.lo[client], self.hi[client]
+        hops = self._hops(client)
+        answer = 0.0
+        self.last_query_hops = 0
+        weights = dict(zip(query.indices, query.weights))
+        for idx in query.indices:
+            width = hi[idx] - lo[idx]
+            if width <= tolerances[idx]:
+                estimate = self.value_low + (lo[idx] + hi[idx]) / 2.0
+            else:
+                # Query-initiated refresh: shrink around the exact value.
+                # Per-item fetches run in parallel; latency is one round trip.
+                self.stats.record(MessageKind.QUERY, hops)
+                self.stats.record(MessageKind.RESPONSE, hops)
+                self.last_query_hops = 2 * hops
+                estimate = self.window[idx]
+                new_width = width / (1.0 + self.alpha)
+                if new_width < self.tau_0:
+                    new_width = 0.0  # exact caching
+                centre = estimate - self.value_low
+                lo[idx] = centre - new_width / 2.0
+                hi[idx] = centre + new_width / 2.0
+            answer += weights[idx] * estimate
+        return answer
+
+    # --------------------------------------------------------------- metrics
+
+    def approximation_count(self) -> int:
+        """O(M N): one interval per client per window item."""
+        return len(self.topology.clients) * self.window_size

@@ -1,0 +1,242 @@
+"""SWAT-ASR: adaptive stream replication (Section 3).
+
+The sliding window is partitioned into the ``log N`` directory segments of
+Table 1, and each segment runs an independent ADR-style replication scheme
+over the spanning tree:
+
+* the *source* always holds the (exact) range of every segment and pushes a
+  range update to subscribers only when the fresh range is **not enclosed**
+  by the previously stored one (Figure 8(a));
+* a *query* is decomposed into per-segment sub-queries; a site satisfies the
+  query when the total weighted precision offered by its cached ranges is
+  within the query's delta, otherwise the whole query travels one hop toward
+  the source (one query message and one response per hop);
+* at each *phase end* (Figure 8(b)) replication fringes contract where
+  writes outran local reads, and schemes expand toward children whose reads
+  outran writes.
+
+Precision is monotone: the range cached for a segment never gets tighter as
+one descends the tree, exactly as in the Section 3 walk-through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.coverage import CoverageError
+from ..core.queries import InnerProductQuery
+from ..core.swat import Swat
+from ..network.directory import Directory, Segment
+from ..network.messages import MessageKind
+from ..network.topology import Topology
+from .base import ReplicationProtocol
+
+__all__ = ["SwatAsr"]
+
+
+class SwatAsr(ReplicationProtocol):
+    """The paper's SWAT-ASR protocol over a spanning tree.
+
+    Parameters
+    ----------
+    topology:
+        Spanning tree with the stream source at the root.
+    window_size:
+        Sliding window size ``N`` (power of two).
+    """
+
+    name = "SWAT-ASR"
+
+    def __init__(
+        self, topology: Topology, window_size: int, use_summary_ranges: bool = False
+    ):
+        """``use_summary_ranges=True`` derives segment ranges from a
+        deviation-tracked 1-coefficient SWAT at the source — "the central
+        site which maintains summary of the stream" — instead of exact
+        min/max over the raw window.  Summary ranges are certified supersets
+        (average ± max deviation), so answers stay within precision; they are
+        somewhat wider, costing extra forwarding (quantified in tests)."""
+        super().__init__(topology, window_size)
+        self.sites: Dict[str, Directory] = {
+            node: Directory(window_size) for node in topology.nodes
+        }
+        self._segments = self.sites[topology.root].segments
+        self.use_summary_ranges = bool(use_summary_ranges)
+        self._summary = (
+            Swat(window_size, track_deviation=True) if use_summary_ranges else None
+        )
+
+    # ------------------------------------------------------------- data path
+
+    def on_data(self, value: float, now: float = 0.0) -> None:
+        # The source's summary tree sees every arrival from the start, so it
+        # is warm by the time the window fills and propagation begins.
+        if self._summary is not None:
+            self._summary.update(float(value))
+        super().on_data(value, now)
+
+    def _propagate(self, value: float, now: float) -> None:
+        """Refresh every segment range at the source; push non-enclosed changes."""
+        for seg in self._segments:
+            rng = self._segment_range(seg)
+            self._apply_update(self.topology.root, seg, rng)
+
+    def _segment_range(self, seg: Segment) -> Tuple[float, float]:
+        if self._summary is None:
+            return self.window.segment_range(seg.newest, seg.oldest)
+        # Range from the summary alone: for each node covering part of the
+        # segment, [avg - deviation, avg + deviation] encloses its true
+        # values, so the union of those intervals encloses the segment.
+        try:
+            cover = self._summary.cover(list(seg.indices()))
+        except CoverageError:
+            # A few nodes may still be unfilled right after the window first
+            # fills; the source always has the raw window to fall back on.
+            return self.window.segment_range(seg.newest, seg.oldest)
+        lo, hi = float("inf"), float("-inf")
+        for node in cover.assignments:
+            avg = node.average()
+            dev = node.deviation if node.deviation is not None else 0.0
+            lo = min(lo, avg - dev)
+            hi = max(hi, avg + dev)
+        return (lo, hi)
+
+    def _apply_update(self, node: str, seg: Segment, rng: Tuple[float, float]) -> None:
+        """Figure 8(a), update branch, at ``node`` (then cascading down)."""
+        row = self.sites[node].row(seg)
+        was_cached = row.is_cached
+        enclosed = row.encloses(rng)
+        row.approx = rng
+        if was_cached and not enclosed:
+            row.write_count += 1
+            for child in list(row.subscribed):
+                self.stats.record(MessageKind.UPDATE)
+                self._apply_update(child, seg, rng)
+
+    # ------------------------------------------------------------ query path
+
+    def on_query(self, client: str, query: InnerProductQuery, now: float = 0.0) -> float:
+        """Answer a query issued at ``client`` (Figure 8(a), query branch).
+
+        The query is decomposed into per-segment sub-queries.  A site
+        satisfies the query when the *total* weighted precision offered by
+        its cached ranges — ``sum_i W[i] * width(segment(i))``, with width
+        as the offered precision, exactly as the Section 3 walk-through
+        compares ``40 - 30 = 10`` against the required ``8`` — is within the
+        query's ``delta``.  Otherwise the whole query travels one hop toward
+        the source (one query message and one response per hop).
+        """
+        if client not in self.topology:
+            raise KeyError(f"unknown site {client!r}")
+        if not self.is_warm:
+            raise RuntimeError("stream window not yet full; warm up before querying")
+        directory = self.sites[client]
+        by_segment: Dict[Segment, List[int]] = {}
+        for idx in query.indices:
+            by_segment.setdefault(directory.segment_of(idx), []).append(idx)
+        weights = dict(zip(query.indices, query.weights))
+        before = self.stats.count(MessageKind.QUERY)
+        estimates = self._query_at(client, query, by_segment, weights, from_child=None)
+        # One query message per hop up and one response per hop back.
+        self.last_query_hops = 2 * (self.stats.count(MessageKind.QUERY) - before)
+        return sum(weights[i] * estimates[i] for i in query.indices)
+
+    def _query_at(
+        self,
+        node: str,
+        query: InnerProductQuery,
+        by_segment: Dict[Segment, List[int]],
+        weights: Dict[int, float],
+        from_child: Optional[str],
+    ) -> Dict[int, float]:
+        directory = self.sites[node]
+        if node == self.topology.root:
+            # The source answers exactly from the stream itself.
+            for seg in by_segment:
+                self._count_read(directory.row(seg), from_child)
+            return {idx: self.window[idx] for idx in query.indices}
+        offered = 0.0
+        for seg, indices in by_segment.items():
+            width = directory.row(seg).width  # inf when not cached
+            offered += sum(weights[i] for i in indices) * width
+        if offered <= query.precision:
+            estimates: Dict[int, float] = {}
+            for seg, indices in by_segment.items():
+                row = directory.row(seg)
+                self._count_read(row, from_child)
+                for idx in indices:
+                    estimates[idx] = row.midpoint
+            return estimates
+        parent = self.topology.parent(node)
+        self.stats.record(MessageKind.QUERY)
+        estimates = self._query_at(parent, query, by_segment, weights, from_child=node)
+        self.stats.record(MessageKind.RESPONSE)
+        return estimates
+
+    @staticmethod
+    def _count_read(row, from_child: Optional[str]) -> None:
+        if from_child is None:
+            row.local_reads += 1
+        else:
+            row.note_read(from_child)
+
+    # ------------------------------------------------------------- phase end
+
+    def on_phase_end(self, now: float = 0.0) -> None:
+        """Figure 8(b): contraction then expansion tests, then counter reset."""
+        root = self.topology.root
+        # Contraction, deepest sites first, so a chain can shrink in one phase.
+        clients = sorted(self.topology.clients, key=self.topology.depth, reverse=True)
+        for node in clients:
+            directory = self.sites[node]
+            for seg in self._segments:
+                row = directory.row(seg)
+                if row.is_cached and not row.subscribed:  # R-fringe for seg
+                    if row.local_reads < row.write_count:
+                        row.approx = None
+                        self.stats.record(MessageKind.UNSUBSCRIBE)
+                        parent_row = self.sites[self.topology.parent(node)].row(seg)
+                        parent_row.subscribed.discard(node)
+        # Expansion at every site still holding a copy (the source always does).
+        for node in self.topology.nodes:
+            directory = self.sites[node]
+            for seg in self._segments:
+                row = directory.row(seg)
+                if node != root and not row.is_cached:
+                    row.interested.clear()
+                    continue
+                for v in list(row.subscribed):
+                    if row.write_count < row.read_counts.get(v, 0):
+                        # Refresh a subscriber whose cached range proved too wide.
+                        self.stats.record(MessageKind.UPDATE)
+                        self._apply_update(v, seg, row.approx)
+                for v in list(row.interested):
+                    row.interested.discard(v)
+                    if row.write_count < row.read_counts.get(v, 0):
+                        row.subscribed.add(v)
+                        self.stats.record(MessageKind.INSERT)
+                        self.sites[v].row(seg).approx = row.approx
+        for directory in self.sites.values():
+            for seg in self._segments:
+                directory.row(seg).reset_counts()
+
+    # --------------------------------------------------------------- metrics
+
+    def approximation_count(self) -> int:
+        """Total cached approximations across client sites plus the source's."""
+        total = sum(
+            self.sites[node].cached_count() for node in self.topology.clients
+        )
+        return total + len(self._segments)  # the source always holds them all
+
+    def precision_is_monotone(self) -> bool:
+        """Invariant check: widths never shrink as one descends the tree."""
+        for node in self.topology.clients:
+            parent = self.topology.parent(node)
+            for seg in self._segments:
+                child_row = self.sites[node].row(seg)
+                parent_row = self.sites[parent].row(seg)
+                if child_row.is_cached:
+                    if parent_row.width > child_row.width + 1e-9:
+                        return False
+        return True

@@ -1,0 +1,293 @@
+"""SWAT-ASR as communicating actors over a real message transport.
+
+The synchronous :class:`~repro.replication.asr.SwatAsr` models messages as
+counted function calls.  This module runs the *same protocol* as a set of
+site actors exchanging envelopes through
+:class:`repro.network.transport.Transport`: queries travel hop by hop with
+request/response correlation ids, updates cascade as real deliveries, and
+per-hop latency is an actual simulator delay — so response latency is
+measured, not derived.
+
+At zero latency the execution is step-for-step equivalent to the synchronous
+implementation: identical message counts, identical answers, identical
+directory state (asserted in ``tests/test_async_asr.py``).  With positive
+latency the protocol exhibits what a real deployment would: stale reads in
+flight, delayed refreshes, and measurable round-trip times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.queries import InnerProductQuery
+from ..metrics.error import GroundTruthWindow
+from ..network.directory import Directory, Segment
+from ..network.messages import MessageKind
+from ..network.topology import Topology
+from ..network.transport import Envelope, Transport
+from ..simulate.events import Simulator
+
+__all__ = ["AsyncSwatAsr"]
+
+
+class _Site:
+    """One site actor: a directory plus pending-query bookkeeping."""
+
+    def __init__(self, node_id: str, system: "AsyncSwatAsr"):
+        self.id = node_id
+        self.system = system
+        self.directory = Directory(system.window_size)
+        # qid -> ("child", child_id) | ("local", callback)
+        self.pending: Dict[int, Tuple] = {}
+
+    # --------------------------------------------------------------- queries
+
+    def issue_query(self, query: InnerProductQuery, callback: Callable) -> None:
+        estimates = self._try_satisfy(query, from_child=None)
+        if estimates is not None:
+            callback(estimates)
+            return
+        qid = self.system.transport.fresh_id()
+        self.pending[qid] = ("local", callback)
+        self._forward_query(qid, query)
+
+    def _forward_query(self, qid: int, query: InnerProductQuery) -> None:
+        parent = self.system.topology.parent(self.id)
+        self.system.transport.send(
+            self.id, parent, MessageKind.QUERY, {"qid": qid, "query": query}
+        )
+
+    def _try_satisfy(
+        self, query: InnerProductQuery, from_child: Optional[str]
+    ) -> Optional[Dict[int, float]]:
+        """Figure 8(a) query branch: whole-query precision test at this site."""
+        by_segment = self.system.group_by_segment(query)
+        weights = dict(zip(query.indices, query.weights))
+        if self.id == self.system.topology.root:
+            for seg in by_segment:
+                self._count_read(self.directory.row(seg), from_child)
+            return {i: self.system.window[i] for i in query.indices}
+        offered = 0.0
+        for seg, indices in by_segment.items():
+            offered += sum(weights[i] for i in indices) * self.directory.row(seg).width
+        if offered > query.precision:
+            return None
+        estimates: Dict[int, float] = {}
+        for seg, indices in by_segment.items():
+            row = self.directory.row(seg)
+            self._count_read(row, from_child)
+            for idx in indices:
+                estimates[idx] = row.midpoint
+        return estimates
+
+    @staticmethod
+    def _count_read(row, from_child: Optional[str]) -> None:
+        if from_child is None:
+            row.local_reads += 1
+        else:
+            row.note_read(from_child)
+
+    # -------------------------------------------------------------- messages
+
+    def handle(self, env: Envelope) -> None:
+        if env.kind == MessageKind.QUERY:
+            self._handle_query(env)
+        elif env.kind == MessageKind.RESPONSE:
+            self._handle_response(env)
+        elif env.kind == MessageKind.UPDATE or env.kind == MessageKind.INSERT:
+            self.apply_update(env.payload["segment"], env.payload["range"])
+        elif env.kind == MessageKind.UNSUBSCRIBE:
+            self.directory.row(env.payload["segment"]).subscribed.discard(env.src)
+        else:  # pragma: no cover - transport validates kinds
+            raise ValueError(f"unexpected envelope kind {env.kind!r}")
+
+    def _handle_query(self, env: Envelope) -> None:
+        qid, query = env.payload["qid"], env.payload["query"]
+        estimates = self._try_satisfy(query, from_child=env.src)
+        if estimates is not None:
+            self.system.transport.send(
+                self.id, env.src, MessageKind.RESPONSE,
+                {"qid": qid, "estimates": estimates},
+            )
+            return
+        self.pending[qid] = ("child", env.src)
+        self._forward_query(qid, query)
+
+    def _handle_response(self, env: Envelope) -> None:
+        qid = env.payload["qid"]
+        origin, target = self.pending.pop(qid)
+        if origin == "child":
+            self.system.transport.send(
+                self.id, target, MessageKind.RESPONSE, env.payload
+            )
+        else:
+            target(env.payload["estimates"])
+
+    def apply_update(self, seg: Segment, rng: Tuple[float, float]) -> None:
+        """Figure 8(a) update branch: enclosure-gated cascade."""
+        row = self.directory.row(seg)
+        was_cached = row.is_cached
+        enclosed = row.encloses(rng)
+        row.approx = rng
+        if was_cached and not enclosed:
+            row.write_count += 1
+            for child in list(row.subscribed):
+                self.system.transport.send(
+                    self.id, child, MessageKind.UPDATE,
+                    {"segment": seg, "range": rng},
+                )
+
+
+class AsyncSwatAsr:
+    """The SWAT-ASR protocol executed over a message transport.
+
+    Parameters
+    ----------
+    topology, window_size:
+        As for the synchronous implementation.
+    latency:
+        Per-hop delivery delay in virtual seconds.
+    sim:
+        Optional shared simulator (a private one is created otherwise).
+    """
+
+    name = "SWAT-ASR (async)"
+
+    def __init__(
+        self,
+        topology: Topology,
+        window_size: int,
+        latency: float = 0.0,
+        sim: Optional[Simulator] = None,
+    ):
+        self.topology = topology
+        self.window_size = window_size
+        self.sim = sim or Simulator()
+        self.transport = Transport(self.sim, topology, latency=latency)
+        self.window = GroundTruthWindow(window_size)
+        self.sites: Dict[str, _Site] = {
+            node: _Site(node, self) for node in topology.nodes
+        }
+        for node, site in self.sites.items():
+            self.transport.register(node, site.handle)
+        self._segments = self.sites[topology.root].directory.segments
+        self.query_latencies: List[float] = []
+
+    @property
+    def stats(self):
+        return self.transport.stats
+
+    @property
+    def is_warm(self) -> bool:
+        return len(self.window) >= self.window_size
+
+    def group_by_segment(self, query: InnerProductQuery) -> Dict[Segment, List[int]]:
+        root_dir = self.sites[self.topology.root].directory
+        out: Dict[Segment, List[int]] = {}
+        for idx in query.indices:
+            out.setdefault(root_dir.segment_of(idx), []).append(idx)
+        return out
+
+    # ------------------------------------------------------------- data path
+
+    def on_data(self, value: float, now: float = None) -> None:
+        """A stream arrival at the source; update cascades are real messages."""
+        if now is not None and now > self.sim.now:
+            self.sim.run_until(now)
+        self.window.update(value)
+        if not self.is_warm:
+            return
+        source = self.sites[self.topology.root]
+        for seg in self._segments:
+            rng = self.window.segment_range(seg.newest, seg.oldest)
+            source.apply_update(seg, rng)
+        self.transport.drain()
+
+    # ------------------------------------------------------------ query path
+
+    def on_query(self, client: str, query: InnerProductQuery, now: float = None) -> float:
+        """Issue a query and wait (in virtual time) for its answer.
+
+        Returns the answer and records the measured response latency in
+        :attr:`query_latencies`.
+        """
+        if not self.is_warm:
+            raise RuntimeError("stream window not yet full; warm up before querying")
+        if now is not None and now > self.sim.now:
+            self.sim.run_until(now)
+        issued_at = self.sim.now
+        box: Dict[str, float] = {}
+
+        def deliver(estimates: Dict[int, float]) -> None:
+            weights = dict(zip(query.indices, query.weights))
+            box["answer"] = sum(weights[i] * estimates[i] for i in query.indices)
+            box["at"] = self.sim.now
+
+        self.sites[client].issue_query(query, deliver)
+        self.transport.drain()
+        if "answer" not in box:  # pragma: no cover - drain guarantees delivery
+            raise RuntimeError("query was not answered after drain")
+        self.query_latencies.append(box["at"] - issued_at)
+        return box["answer"]
+
+    # ------------------------------------------------------------- phase end
+
+    def on_phase_end(self, now: float = None) -> None:
+        """Figure 8(b) with real messages; drains between steps so tests see
+        effects in the synchronous implementation's order at zero latency."""
+        if now is not None and now > self.sim.now:
+            self.sim.run_until(now)
+        root = self.topology.root
+        clients = sorted(self.topology.clients, key=self.topology.depth, reverse=True)
+        for node in clients:
+            site = self.sites[node]
+            for seg in self._segments:
+                row = site.directory.row(seg)
+                if row.is_cached and not row.subscribed:
+                    if row.local_reads < row.write_count:
+                        row.approx = None
+                        self.transport.send(
+                            node, self.topology.parent(node),
+                            MessageKind.UNSUBSCRIBE, {"segment": seg},
+                        )
+            self.transport.drain()
+        for node in self.topology.nodes:
+            site = self.sites[node]
+            for seg in self._segments:
+                row = site.directory.row(seg)
+                if node != root and not row.is_cached:
+                    row.interested.clear()
+                    continue
+                for v in list(row.subscribed):
+                    if row.write_count < row.read_counts.get(v, 0):
+                        self.transport.send(
+                            node, v, MessageKind.UPDATE,
+                            {"segment": seg, "range": row.approx},
+                        )
+                for v in list(row.interested):
+                    row.interested.discard(v)
+                    if row.write_count < row.read_counts.get(v, 0):
+                        row.subscribed.add(v)
+                        self.transport.send(
+                            node, v, MessageKind.INSERT,
+                            {"segment": seg, "range": row.approx},
+                        )
+            self.transport.drain()
+        for site in self.sites.values():
+            for seg in self._segments:
+                site.directory.row(seg).reset_counts()
+
+    # --------------------------------------------------------------- metrics
+
+    def approximation_count(self) -> int:
+        total = sum(
+            self.sites[node].directory.cached_count()
+            for node in self.topology.clients
+        )
+        return total + len(self._segments)
+
+    def mean_query_latency(self) -> float:
+        """Average measured response time over all answered queries."""
+        if not self.query_latencies:
+            raise ValueError("no queries answered yet")
+        return sum(self.query_latencies) / len(self.query_latencies)

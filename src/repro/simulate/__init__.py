@@ -1,0 +1,6 @@
+"""Discrete-event simulation substrate."""
+
+from .events import Simulator
+from .tasks import PeriodicTask
+
+__all__ = ["Simulator", "PeriodicTask"]

@@ -1,0 +1,54 @@
+"""Periodic tasks on top of the event simulator (data / query / phase timers)."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .events import Simulator
+
+__all__ = ["PeriodicTask"]
+
+
+class PeriodicTask:
+    """Re-schedules a callback every ``period`` units of virtual time.
+
+    The callback receives the current tick count (0-based).  A task can be
+    bounded (``max_ticks``) or cancelled; cancellation takes effect before
+    the next firing.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        action: Callable[[int], None],
+        start_at: Optional[float] = None,
+        max_ticks: Optional[int] = None,
+    ):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.period = period
+        self.action = action
+        self.max_ticks = max_ticks
+        self.ticks = 0
+        self._cancelled = False
+        first = sim.now + period if start_at is None else start_at
+        sim.schedule_at(first, self._fire)
+
+    def cancel(self) -> None:
+        """Stop the task before its next firing."""
+        self._cancelled = True
+
+    @property
+    def is_active(self) -> bool:
+        return not self._cancelled and (self.max_ticks is None or self.ticks < self.max_ticks)
+
+    def _fire(self) -> None:
+        if not self.is_active:
+            return
+        tick = self.ticks
+        self.ticks += 1
+        self.action(tick)
+        if self.is_active:
+            self.sim.schedule_after(self.period, self._fire)

@@ -1,0 +1,157 @@
+"""Exponential histograms (Datar, Gionis, Indyk & Motwani, SODA 2002).
+
+The sliding-window counting/sum structure the paper's related work (§1.1)
+discusses: the window is divided into buckets of exponentially increasing
+sizes, with the number of same-size buckets kept in a narrow band controlled
+by the error parameter ``eps``, so that COUNT (and, by extension, SUM) over
+the last ``N`` elements is maintained within a ``(1 + eps)`` factor using
+``O((1/eps) log^2 N)`` bits.
+
+Implemented here as a comparator for SWAT on aggregate (sum/count) queries:
+where SWAT keeps a recency-biased *value* approximation, an EH keeps a
+provably-bounded *aggregate* and nothing else.
+
+Buckets are stored newest-first in canonical form: sizes (powers of two)
+non-decreasing toward the old end; when a size class exceeds ``k/2 + 2``
+members (``k = ceil(1/eps)``) its two oldest buckets merge, cascading up.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+__all__ = ["ExponentialHistogram", "EhSum"]
+
+
+class _Bucket:
+    __slots__ = ("timestamp", "size")
+
+    def __init__(self, timestamp: int, size: int):
+        self.timestamp = timestamp  # arrival time of the newest 1 it counts
+        self.size = size
+
+    def __repr__(self) -> str:
+        return f"_Bucket(t={self.timestamp}, size={self.size})"
+
+
+def _cascade_merge(buckets: List[_Bucket], max_same_size: int) -> None:
+    """Restore the size-class invariant by merging oldest same-size pairs.
+
+    ``buckets`` is newest-first with non-decreasing sizes toward the end;
+    merging two size-``s`` buckets yields one size-``2s`` bucket placed where
+    the pair sat (immediately before the ``2s`` class), so a single forward
+    scan with local repetition restores the invariant everywhere.
+    """
+    i = 0
+    while i < len(buckets):
+        size = buckets[i].size
+        j = i
+        while j < len(buckets) and buckets[j].size == size:
+            j += 1
+        while j - i > max_same_size:
+            newer, oldest = buckets[j - 2], buckets[j - 1]
+            # Keep the NEWER element's timestamp (DGIM: a bucket is stamped
+            # with its most recent element, so expiry is exact).
+            merged = _Bucket(newer.timestamp, newer.size + oldest.size)
+            buckets[j - 2 : j] = [merged]
+            j -= 2  # the merged 2s bucket is no longer part of this run
+        i = j
+
+
+class _EhBase:
+    """Shared expiry/merge machinery for the count and sum variants."""
+
+    def __init__(self, window_size: int, eps: float = 0.1):
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if not 0 < eps <= 1:
+            raise ValueError("eps must be in (0, 1]")
+        self.window_size = window_size
+        self.eps = eps
+        self.k = math.ceil(1.0 / eps)
+        self._max_same_size = self.k // 2 + 2
+        self._buckets: List[_Bucket] = []  # newest first
+        self._time = 0
+        self._total = 0
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self._buckets)
+
+    def _expire(self) -> None:
+        while self._buckets and self._buckets[-1].timestamp <= self._time - self.window_size:
+            self._total -= self._buckets.pop().size
+
+    def _insert_units(self, count: int) -> None:
+        for __ in range(count):
+            self._buckets.insert(0, _Bucket(self._time, 1))
+            self._total += 1
+        if count:
+            _cascade_merge(self._buckets, self._max_same_size)
+
+    def estimate(self) -> float:
+        """``(1 + eps)``-approximate aggregate over the window.
+
+        All buckets except the oldest are exact; the oldest contributes half
+        its size because it may straddle the window boundary.
+        """
+        self._expire()
+        if not self._buckets:
+            return 0.0
+        oldest = self._buckets[-1]
+        return (self._total - oldest.size) + oldest.size / 2.0
+
+    def exact_upper_bound(self) -> int:
+        """The true aggregate cannot exceed the live bucket mass."""
+        self._expire()
+        return self._total
+
+
+class ExponentialHistogram(_EhBase):
+    """``(1 + eps)``-approximate COUNT of 1s over a sliding window."""
+
+    def update(self, bit: int) -> None:
+        """Ingest one arrival (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError(f"exponential histograms count bits, got {bit!r}")
+        self._time += 1
+        self._expire()
+        self._insert_units(int(bit))
+
+    def __repr__(self) -> str:
+        return (
+            f"ExponentialHistogram(N={self.window_size}, eps={self.eps}, "
+            f"buckets={self.n_buckets})"
+        )
+
+
+class EhSum(_EhBase):
+    """``(1 + eps)``-approximate SUM of bounded non-negative integers.
+
+    The standard reduction: a value ``v`` in ``[0, max_value]`` arrives as
+    ``v`` unit buckets sharing one timestamp, then the cascade restores the
+    invariant — ``O(max_value)`` amortized work per arrival.
+    """
+
+    def __init__(self, window_size: int, eps: float = 0.1, max_value: int = 100):
+        super().__init__(window_size, eps)
+        if max_value < 1:
+            raise ValueError("max_value must be >= 1")
+        self.max_value = max_value
+
+    def update(self, value: float) -> None:
+        """Ingest one arrival with integer value in ``[0, max_value]``."""
+        v = int(round(float(value)))
+        if not 0 <= v <= self.max_value:
+            raise ValueError(f"value {value!r} outside [0, {self.max_value}]")
+        self._time += 1
+        self._expire()
+        self._insert_units(v)
+
+    def __repr__(self) -> str:
+        return f"EhSum(N={self.window_size}, eps={self.eps}, buckets={self.n_buckets})"

@@ -1,0 +1,155 @@
+"""Surfing wavelets (Gilbert, Kotidis, Muthukrishnan & Strauss, VLDB 2001).
+
+The closest related work to SWAT (§1.1): under the *ordered aggregate* model
+a stream of length ``t`` is summarized by its ``B`` largest Haar wavelet
+coefficients, maintained online in ``O(B + log t)`` space.  The structure is
+the whole-stream counterpart that SWAT's windowed, recency-biased tree is
+contrasted against; :mod:`repro.core.growing` is SWAT's own whole-stream
+variant, and the benchmarks compare the two.
+
+Mechanics: a *frontier* of at most ``log t`` partial approximation
+coefficients follows the binary-carry structure of ``t``; every carry merge
+finalizes one detail coefficient, which competes for a slot among the ``B``
+largest (by magnitude).  Point estimates sum the retained coefficients'
+basis functions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ..core.queries import InnerProductQuery
+
+__all__ = ["SurfingWavelets"]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+class _Detail:
+    """A finalized detail coefficient: scale ``block`` (half-support size),
+    oldest-first start position of its ``2 * block`` support, and value."""
+
+    __slots__ = ("block", "start", "value")
+
+    def __init__(self, block: int, start: int, value: float):
+        self.block = block
+        self.start = start
+        self.value = value
+
+
+class SurfingWavelets:
+    """Top-``B`` Haar coefficient synopsis of an unbounded stream.
+
+    Parameters
+    ----------
+    n_coefficients:
+        The coefficient budget ``B`` (finalized details kept; the ``log t``
+        frontier approximations are always retained, as in the paper).
+    """
+
+    def __init__(self, n_coefficients: int = 32):
+        if n_coefficients < 1:
+            raise ValueError("n_coefficients must be >= 1")
+        self.budget = n_coefficients
+        self._time = 0
+        # Frontier: level -> partial approximation coefficient.  Level l
+        # covers a block of 2^l stream positions.
+        self._frontier: Dict[int, Tuple[int, float]] = {}  # level -> (start, a)
+        # Min-heap of (|value|, tiebreak, _Detail) keeping the B largest.
+        self._heap: List[Tuple[float, int, _Detail]] = []
+        self._ids = itertools.count()
+        self.finalized = 0  # total details ever produced (diagnostics)
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    @property
+    def size(self) -> int:
+        return self._time
+
+    @property
+    def stored_coefficients(self) -> int:
+        """Retained coefficients: top-B details plus the frontier."""
+        return len(self._heap) + len(self._frontier)
+
+    # ---------------------------------------------------------------- updates
+
+    def update(self, value: float) -> None:
+        """Ingest one value; carries merge frontier blocks like binary addition."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"stream values must be finite, got {value!r}")
+        start = self._time
+        self._time += 1
+        level = 0
+        approx = value
+        while level in self._frontier:
+            left_start, left = self._frontier.pop(level)
+            detail = (left - approx) / _SQRT2  # older half positive
+            self._offer(_Detail(1 << level, left_start, detail))
+            approx = (left + approx) / _SQRT2
+            start = left_start
+            level += 1
+        self._frontier[level] = (start, approx)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.update(v)
+
+    def _offer(self, detail: _Detail) -> None:
+        self.finalized += 1
+        if detail.value == 0.0:
+            return
+        entry = (abs(detail.value), next(self._ids), detail)
+        if len(self._heap) < self.budget:
+            heapq.heappush(self._heap, entry)
+        elif entry[0] > self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+
+    # ---------------------------------------------------------------- queries
+
+    def estimates(self, indices) -> np.ndarray:
+        """Approximate stream values at newest-first indices (0 = newest)."""
+        indices = list(indices)
+        bad = [i for i in indices if not 0 <= i < self._time]
+        if bad:
+            raise IndexError(f"indices {bad} out of range [0, {self._time - 1}]")
+        positions = np.array([self._time - 1 - i for i in indices], dtype=np.int64)
+        out = np.zeros(len(indices), dtype=np.float64)
+        # Frontier approximations: flat contribution a / sqrt(block).
+        for level, (start, a) in self._frontier.items():
+            block = 1 << level
+            mask = (positions >= start) & (positions < start + block)
+            out[mask] += a / math.sqrt(block)
+        # Retained details: +/- value / sqrt(2 * block) on each half.
+        for __, __, d in self._heap:
+            span = 2 * d.block
+            rel = positions - d.start
+            inside = (rel >= 0) & (rel < span)
+            older = inside & (rel < d.block)
+            newer = inside & (rel >= d.block)
+            scale = d.value / math.sqrt(span)
+            out[older] += scale
+            out[newer] -= scale
+        return out
+
+    def point_estimate(self, index: int) -> float:
+        return float(self.estimates([index])[0])
+
+    def answer(self, query: InnerProductQuery) -> float:
+        est = self.estimates(list(query.indices))
+        return float(np.dot(np.asarray(query.weights, dtype=np.float64), est))
+
+    def __repr__(self) -> str:
+        return (
+            f"SurfingWavelets(B={self.budget}, t={self._time}, "
+            f"stored={self.stored_coefficients})"
+        )

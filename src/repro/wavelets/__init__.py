@@ -1,0 +1,37 @@
+"""Wavelet substrate: filter banks, periodized DWT/IDWT, Haar fast paths."""
+
+from .filters import WaveletFilter, available_wavelets, daubechies_filter, get_filter
+from .haar import combine_haar, haar_average, haar_reconstruct, leaf_coeffs
+from .transform import (
+    dwt_step,
+    flatten_coeffs,
+    full_decompose,
+    idwt_step,
+    is_power_of_two,
+    reconstruct,
+    split_flat,
+    truncate,
+    wavedec,
+    waverec,
+)
+
+__all__ = [
+    "WaveletFilter",
+    "available_wavelets",
+    "daubechies_filter",
+    "get_filter",
+    "combine_haar",
+    "haar_average",
+    "haar_reconstruct",
+    "leaf_coeffs",
+    "dwt_step",
+    "idwt_step",
+    "wavedec",
+    "waverec",
+    "flatten_coeffs",
+    "split_flat",
+    "full_decompose",
+    "reconstruct",
+    "truncate",
+    "is_power_of_two",
+]

@@ -1,0 +1,201 @@
+"""Orthonormal wavelet filter banks.
+
+SWAT (Section 2.2 of the paper) can use "any of the wavelet bases such as
+Haar, Daubechies, Coiflets, Symlets and Meyer".  This module provides the
+scaling (low-pass) filters for those families:
+
+* ``haar`` / ``db1`` — the basis every experiment in the paper uses.
+* ``db2`` .. ``db10`` — Daubechies extremal-phase filters, *derived from
+  scratch* by spectral factorization of the Daubechies polynomial (no table
+  of magic constants; see :func:`daubechies_filter`).
+* ``sym4``, ``sym8``, ``coif1``, ``coif3`` — small published tables for the
+  near-symmetric families (their construction requires a phase-selection
+  search that is out of scope; the values are the standard ones from
+  Daubechies' *Ten Lectures* / Mallat's *A Wavelet Tour*).
+
+A filter is represented by its low-pass decomposition taps ``h`` with
+``sum(h) == sqrt(2)`` and ``sum(h**2) == 1``.  The high-pass taps are the
+quadrature mirror ``g[k] = (-1)**k * h[L-1-k]``.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "WaveletFilter",
+    "get_filter",
+    "available_wavelets",
+    "daubechies_filter",
+    "quadrature_mirror",
+]
+
+
+class WaveletFilter:
+    """An orthonormal two-channel filter bank.
+
+    Parameters
+    ----------
+    name:
+        Canonical name, e.g. ``"haar"`` or ``"db4"``.
+    lowpass:
+        Decomposition low-pass taps ``h`` (length must be even).
+    """
+
+    def __init__(self, name: str, lowpass: np.ndarray):
+        h = np.asarray(lowpass, dtype=np.float64)
+        if h.ndim != 1 or h.size == 0 or h.size % 2 != 0:
+            raise ValueError(f"low-pass filter must be 1-D of even length, got shape {h.shape}")
+        self.name = name
+        self.lowpass = h
+        self.highpass = quadrature_mirror(h)
+
+    @property
+    def length(self) -> int:
+        """Number of filter taps."""
+        return int(self.lowpass.size)
+
+    @property
+    def vanishing_moments(self) -> int:
+        """Number of vanishing moments (taps / 2 for the db family)."""
+        return self.length // 2
+
+    def check_orthonormal(self, atol: float = 1e-8) -> bool:
+        """Return True if the filter satisfies the orthonormality conditions."""
+        h = self.lowpass
+        if not math.isclose(float(h.sum()), math.sqrt(2.0), abs_tol=atol):
+            return False
+        for shift in range(0, self.length, 2):
+            target = 1.0 if shift == 0 else 0.0
+            inner = float(np.dot(h[shift:], h[: self.length - shift]))
+            if not math.isclose(inner, target, abs_tol=atol):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"WaveletFilter({self.name!r}, taps={self.length})"
+
+
+def quadrature_mirror(h: np.ndarray) -> np.ndarray:
+    """High-pass taps from low-pass taps: ``g[k] = (-1)^k h[L-1-k]``."""
+    h = np.asarray(h, dtype=np.float64)
+    signs = np.where(np.arange(h.size) % 2 == 0, 1.0, -1.0)
+    return signs * h[::-1]
+
+
+def daubechies_filter(n_moments: int) -> np.ndarray:
+    """Compute the Daubechies-N extremal-phase scaling filter from scratch.
+
+    Uses spectral factorization: the product filter
+    ``P(y) = sum_k C(N-1+k, k) y^k`` (with ``y = sin^2(w/2)``) is factored by
+    selecting the roots of its z-transform that lie inside the unit circle,
+    which yields the classic minimum-phase ("dbN") solution.
+
+    Parameters
+    ----------
+    n_moments:
+        Number of vanishing moments N >= 1; the filter has ``2N`` taps.
+
+    Returns
+    -------
+    numpy.ndarray
+        Low-pass taps normalised so that ``sum(h) == sqrt(2)``.
+    """
+    if n_moments < 1:
+        raise ValueError("need at least one vanishing moment")
+    if n_moments == 1:
+        return np.array([1.0, 1.0]) / math.sqrt(2.0)
+
+    n = n_moments
+    # Binomial polynomial P(y), y = sin^2(w/2); coefficients in ascending order.
+    p_coeffs = np.array([math.comb(n - 1 + k, k) for k in range(n)], dtype=np.float64)
+    # Substitute y = (1 - z)(1 - 1/z)/... -> work with roots of P in y, then
+    # map each y-root to a conjugate pair of z-roots via
+    #   y = (2 - z - 1/z) / 4  <=>  z^2 - (2 - 4y) z + 1 = 0.
+    y_roots = np.roots(p_coeffs[::-1])
+    z_roots = []
+    for y in y_roots:
+        b = 2.0 - 4.0 * y
+        disc = np.sqrt(b * b - 4.0 + 0j)
+        z1 = (b + disc) / 2.0
+        z2 = (b - disc) / 2.0
+        # keep the root inside the unit circle (minimum phase choice)
+        z_roots.append(z1 if abs(z1) < 1.0 else z2)
+    # h(z) ~ (1 + z)^N * prod (z - z_k); build polynomial coefficients.
+    poly = np.array([1.0 + 0j])
+    for _ in range(n):
+        poly = np.convolve(poly, np.array([1.0, 1.0]))
+    for zk in z_roots:
+        poly = np.convolve(poly, np.array([1.0, -zk]))
+    h = np.real(poly)
+    # Normalise to sum = sqrt(2) (orthonormal convention).
+    h = h * (math.sqrt(2.0) / h.sum())
+    return h
+
+
+# Published near-symmetric filters (decomposition low-pass taps, orthonormal
+# convention).  Sources: Daubechies, "Ten Lectures on Wavelets"; Mallat,
+# "A Wavelet Tour of Signal Processing", 2nd ed. (the paper's reference [13]).
+_SYM4 = np.array([
+    -0.07576571478927333, -0.02963552764599851, 0.49761866763201545,
+    0.8037387518059161, 0.29785779560527736, -0.09921954357684722,
+    -0.012603967262037833, 0.0322231006040427,
+])
+_SYM8 = np.array([
+    -0.0033824159510061256, -0.0005421323317911481, 0.03169508781149298,
+    0.007607487324917605, -0.1432942383508097, -0.061273359067658524,
+    0.4813596512583722, 0.7771857517005235, 0.3644418948353314,
+    -0.05194583810770904, -0.027219029917056003, 0.049137179673607506,
+    0.003808752013890615, -0.01495225833704823, -0.0003029205147213668,
+    0.0018899503327594609,
+])
+_COIF1 = np.array([
+    -0.01565572813546454, -0.0727326195128539, 0.38486484686420286,
+    0.8525720202122554, 0.3378976624578092, -0.0727326195128539,
+])
+_COIF3 = np.array([
+    -3.459977283621256e-05, -7.098330313814125e-05, 0.0004662169601128863,
+    0.0011175187708906016, -0.0025745176887502236, -0.00900797613666158,
+    0.015880544863615904, 0.03455502757306163, -0.08230192710688598,
+    -0.07179982161931202, 0.42848347637761874, 0.7937772226256206,
+    0.4051769024096169, -0.06112339000267287, -0.0657719112818555,
+    0.023452696141836267, 0.007782596427325418, -0.003793512864491014,
+])
+
+_STATIC_FILTERS = {
+    "sym4": _SYM4,
+    "sym8": _SYM8,
+    "coif1": _COIF1,
+    "coif3": _COIF3,
+}
+
+
+@lru_cache(maxsize=None)
+def get_filter(name: str) -> WaveletFilter:
+    """Look up (or derive) a wavelet filter by name.
+
+    Accepted names: ``haar``, ``db1`` .. ``db10``, ``sym4``, ``sym8``,
+    ``coif1``, ``coif3``.
+    """
+    key = name.lower()
+    if key == "haar":
+        return WaveletFilter("haar", daubechies_filter(1))
+    if key.startswith("db"):
+        try:
+            n = int(key[2:])
+        except ValueError:
+            raise ValueError(f"unknown wavelet {name!r}") from None
+        if not 1 <= n <= 10:
+            raise ValueError(f"db filters supported for 1..10, got {n}")
+        return WaveletFilter(key, daubechies_filter(n))
+    if key in _STATIC_FILTERS:
+        return WaveletFilter(key, _STATIC_FILTERS[key])
+    raise ValueError(f"unknown wavelet {name!r}; see available_wavelets()")
+
+
+def available_wavelets() -> list:
+    """Names accepted by :func:`get_filter`."""
+    return ["haar"] + [f"db{n}" for n in range(1, 11)] + sorted(_STATIC_FILTERS)

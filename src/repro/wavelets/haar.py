@@ -1,0 +1,209 @@
+"""Haar-specific fast paths used by the SWAT tree.
+
+The crucial operation in SWAT's update rule (Figure 3(a) of the paper) is
+
+    contents(R_l) := DWT(R_{l-1}, L_{l-1})
+
+i.e. combining the summaries of two adjacent half-segments into the summary
+of their union.  With the orthonormal Haar basis and the coarse-to-fine
+coefficient layout of :mod:`repro.wavelets.transform` this combine is *exact*
+and costs ``O(k)``:
+
+* parent approximation   ``a  = (a_L + a_R) / sqrt(2)``
+* parent coarsest detail ``d0 = (a_L - a_R) / sqrt(2)``
+* every finer parent band is the concatenation of the children's bands one
+  scale down (orthonormal detail coefficients are invariant under further
+  decomposition of the approximation channel).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .transform import is_power_of_two
+
+__all__ = [
+    "combine_haar",
+    "haar_average",
+    "haar_reconstruct",
+    "leaf_coeffs",
+    "parent_position",
+    "sparse_combine",
+    "sparse_reconstruct",
+    "largest_coefficients",
+]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def leaf_coeffs(newer: float, older: float, k: int = 1) -> np.ndarray:
+    """Level-0 node contents from the two most recent raw values.
+
+    The paper's footnote to Figure 3(a): "R_{-1} and L_{-1} are data values
+    d_0 and d_1" — ``newer`` is d_0, ``older`` is d_1.  In time order the
+    segment is ``[older, newer]``.
+    """
+    coeffs = np.array([(older + newer) / _SQRT2, (older - newer) / _SQRT2])
+    return coeffs[: max(1, min(k, 2))].copy()
+
+
+def combine_haar(older: np.ndarray, newer: np.ndarray, k: int) -> np.ndarray:
+    """Combine two child coefficient vectors into the parent's first ``k`` coefficients.
+
+    Parameters
+    ----------
+    older:
+        Flat coarse-to-fine Haar coefficients of the *older* half-segment
+        (SWAT's ``L_{l-1}``), truncated to at most ``k`` values.
+    newer:
+        Same for the *newer* half-segment (SWAT's ``R_{l-1}``).
+    k:
+        Number of coefficients to retain in the parent.
+
+    Notes
+    -----
+    Child coefficients beyond what was retained are treated as zero, which is
+    consistent with the k-coefficient summary: the parent's first ``k``
+    coefficients depend only on child coefficients at positions ``< k``, so
+    repeated combining of k-truncated nodes is exact with respect to the
+    k-truncated full transform.
+    """
+    older = np.asarray(older, dtype=np.float64)
+    newer = np.asarray(newer, dtype=np.float64)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    a_l = older[0] if older.size else 0.0
+    a_r = newer[0] if newer.size else 0.0
+    out = np.zeros(k, dtype=np.float64)
+    out[0] = (a_l + a_r) / _SQRT2
+    if k >= 2:
+        out[1] = (a_l - a_r) / _SQRT2
+    # Parent band j (size 2^{j-1} per child) starts at flat position 2^j and
+    # is [older band (j-1), newer band (j-1)], each starting at 2^{j-1}.
+    band_start = 2
+    while band_start < k:
+        child_lo = band_start // 2
+        child_hi = band_start
+        for child, offset in ((older, 0), (newer, band_start // 2)):
+            src = child[child_lo:child_hi]
+            dst_lo = band_start + offset
+            dst_hi = min(dst_lo + src.size, k)
+            if dst_hi > dst_lo:
+                out[dst_lo:dst_hi] = src[: dst_hi - dst_lo]
+        band_start *= 2
+    return out
+
+
+def haar_average(coeffs: np.ndarray, length: int) -> float:
+    """Mean of a segment of ``length`` points from its Haar coefficients.
+
+    For the orthonormal full decomposition ``a = sum(x) / 2^{m/2}`` with
+    ``length = 2^m``, so ``mean = a / 2^{m/2} = a / sqrt(length)``.
+    """
+    if not is_power_of_two(length):
+        raise ValueError(f"length must be a power of two, got {length}")
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    return float(coeffs[0] / math.sqrt(length))
+
+
+def haar_reconstruct(coeffs: np.ndarray, length: int) -> np.ndarray:
+    """Reconstruct a length-``length`` segment from (truncated) Haar coefficients.
+
+    Equivalent to :func:`repro.wavelets.transform.reconstruct` with the Haar
+    basis but implemented with the doubling fast path (each inverse step is a
+    vectorised butterfly), since SWAT calls this on every query.
+    """
+    if not is_power_of_two(length):
+        raise ValueError(f"length must be a power of two, got {length}")
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    padded = np.zeros(length, dtype=np.float64)
+    padded[: min(coeffs.size, length)] = coeffs[:length]
+    approx = padded[:1]
+    pos, size = 1, 1
+    while approx.size < length:
+        detail = padded[pos : pos + size]
+        out = np.empty(2 * size, dtype=np.float64)
+        out[0::2] = (approx + detail) / _SQRT2
+        out[1::2] = (approx - detail) / _SQRT2
+        approx = out
+        pos += size
+        size *= 2
+    return approx
+
+
+def parent_position(child_pos: int, is_newer: bool) -> int:
+    """Map a child detail coefficient's flat position into the parent's.
+
+    A child's band starting at ``s = 2^floor(log2(p))`` lands in the parent
+    band starting at ``2s``; the older child's entries come first.  Position
+    0 (the approximation) has no direct image — it is consumed by the
+    parent's approximation and coarsest detail.
+    """
+    if child_pos < 1:
+        raise ValueError("position 0 is consumed by the combine step")
+    s = 1 << (child_pos.bit_length() - 1)
+    return child_pos + s + (s if is_newer else 0)
+
+
+def sparse_combine(
+    older_pos: np.ndarray,
+    older_val: np.ndarray,
+    newer_pos: np.ndarray,
+    newer_val: np.ndarray,
+    k: int,
+):
+    """Combine two largest-k sparse Haar summaries into the parent's.
+
+    Children store (positions, values) of their retained coefficients in the
+    flat coarse-to-fine layout; position 0 (the approximation) is always
+    retained.  The parent keeps its approximation plus the ``k - 1``
+    largest-magnitude remaining coefficients (the classical top-B selection
+    of Gilbert et al.).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    a_l = float(older_val[0]) if older_pos.size and older_pos[0] == 0 else 0.0
+    a_r = float(newer_val[0]) if newer_pos.size and newer_pos[0] == 0 else 0.0
+    cand_pos = [0, 1]
+    cand_val = [(a_l + a_r) / _SQRT2, (a_l - a_r) / _SQRT2]
+    for pos_arr, val_arr, newer in ((older_pos, older_val, False), (newer_pos, newer_val, True)):
+        for p, v in zip(pos_arr, val_arr):
+            if p >= 1:
+                cand_pos.append(parent_position(int(p), newer))
+                cand_val.append(float(v))
+    pos = np.asarray(cand_pos, dtype=np.int64)
+    val = np.asarray(cand_val, dtype=np.float64)
+    if pos.size <= k:
+        order = np.argsort(pos)
+        return pos[order], val[order]
+    # Always keep the approximation (index 0 of cand arrays).
+    rest = np.argsort(-np.abs(val[1:]))[: k - 1] + 1
+    keep = np.concatenate([[0], rest])
+    keep = keep[np.argsort(pos[keep])]
+    return pos[keep], val[keep]
+
+
+def sparse_reconstruct(positions: np.ndarray, values: np.ndarray, length: int) -> np.ndarray:
+    """Reconstruct a segment from sparse (position, value) Haar coefficients."""
+    if not is_power_of_two(length):
+        raise ValueError(f"length must be a power of two, got {length}")
+    dense = np.zeros(length, dtype=np.float64)
+    pos = np.asarray(positions, dtype=np.int64)
+    if pos.size and (pos.min() < 0 or pos.max() >= length):
+        raise ValueError("coefficient positions outside the segment transform")
+    dense[pos] = np.asarray(values, dtype=np.float64)
+    return haar_reconstruct(dense, length)
+
+
+def largest_coefficients(flat: np.ndarray, k: int):
+    """Top-k selection of a dense flat vector (approximation always kept)."""
+    flat = np.asarray(flat, dtype=np.float64)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if flat.size <= k:
+        return np.arange(flat.size, dtype=np.int64), flat.copy()
+    rest = np.argsort(-np.abs(flat[1:]))[: k - 1] + 1
+    keep = np.sort(np.concatenate([[0], rest]))
+    return keep.astype(np.int64), flat[keep]

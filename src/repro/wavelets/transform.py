@@ -1,0 +1,186 @@
+"""Periodized discrete wavelet transform (DWT) and its inverse.
+
+The transforms here are *orthonormal* and *periodized*: a signal of length
+``2^m`` maps to exactly ``2^m`` coefficients, and the analysis operator is an
+orthogonal matrix (so reconstruction is exact and energy is preserved).
+
+Coefficient layout
+------------------
+A full decomposition of a length-``2^m`` signal is stored as a flat vector in
+**coarse-to-fine** order::
+
+    [ a | d_coarsest | d_next (2 values) | ... | d_finest (2^{m-1} values) ]
+
+This ordering is what SWAT truncates: "keeping the first k coefficients"
+retains the approximation plus the largest-scale details, which is exactly
+the paper's ``k``-coefficient node summary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .filters import WaveletFilter, get_filter
+
+__all__ = [
+    "dwt_step",
+    "idwt_step",
+    "wavedec",
+    "waverec",
+    "flatten_coeffs",
+    "split_flat",
+    "full_decompose",
+    "reconstruct",
+    "truncate",
+    "is_power_of_two",
+]
+
+FilterLike = Union[str, WaveletFilter]
+
+
+def _resolve(wavelet: FilterLike) -> WaveletFilter:
+    if isinstance(wavelet, WaveletFilter):
+        return wavelet
+    return get_filter(wavelet)
+
+
+def is_power_of_two(n: int) -> bool:
+    """True if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def dwt_step(x: np.ndarray, wavelet: FilterLike = "haar") -> Tuple[np.ndarray, np.ndarray]:
+    """One level of periodized analysis: ``x`` -> (approximation, detail).
+
+    ``a[n] = sum_k h[k] x[(2n+k) mod N]`` and likewise for ``d`` with the
+    quadrature-mirror high-pass taps.
+    """
+    filt = _resolve(wavelet)
+    x = np.asarray(x, dtype=np.float64)
+    n = x.size
+    if n % 2 != 0:
+        raise ValueError(f"signal length must be even, got {n}")
+    if filt.length == 2:  # Haar fast path
+        pairs = x.reshape(-1, 2)
+        h0, h1 = filt.lowpass
+        g0, g1 = filt.highpass
+        return pairs[:, 0] * h0 + pairs[:, 1] * h1, pairs[:, 0] * g0 + pairs[:, 1] * g1
+    half = n // 2
+    idx = (2 * np.arange(half)[:, None] + np.arange(filt.length)[None, :]) % n
+    windows = x[idx]
+    return windows @ filt.lowpass, windows @ filt.highpass
+
+
+def idwt_step(
+    approx: np.ndarray, detail: np.ndarray, wavelet: FilterLike = "haar"
+) -> np.ndarray:
+    """One level of periodized synthesis, the exact inverse of :func:`dwt_step`."""
+    filt = _resolve(wavelet)
+    a = np.asarray(approx, dtype=np.float64)
+    d = np.asarray(detail, dtype=np.float64)
+    if a.shape != d.shape:
+        raise ValueError(f"approx/detail length mismatch: {a.size} vs {d.size}")
+    n = 2 * a.size
+    if filt.length == 2:  # Haar fast path
+        h0, h1 = filt.lowpass
+        g0, g1 = filt.highpass
+        out = np.empty(n, dtype=np.float64)
+        out[0::2] = a * h0 + d * g0
+        out[1::2] = a * h1 + d * g1
+        return out
+    out = np.zeros(n, dtype=np.float64)
+    idx = (2 * np.arange(a.size)[:, None] + np.arange(filt.length)[None, :]) % n
+    np.add.at(out, idx, a[:, None] * filt.lowpass[None, :])
+    np.add.at(out, idx, d[:, None] * filt.highpass[None, :])
+    return out
+
+
+def wavedec(
+    x: np.ndarray, wavelet: FilterLike = "haar", levels: Optional[int] = None
+) -> List[np.ndarray]:
+    """Multilevel decomposition ``[a_L, d_L, d_{L-1}, ..., d_1]`` (coarse first).
+
+    ``levels`` defaults to the maximum (down to a single approximation
+    coefficient), which requires ``len(x)`` to be a power of two.
+    """
+    filt = _resolve(wavelet)
+    x = np.asarray(x, dtype=np.float64)
+    max_levels = int(np.log2(x.size)) if is_power_of_two(x.size) else 0
+    if levels is None:
+        if not is_power_of_two(x.size):
+            raise ValueError(f"full decomposition needs power-of-two length, got {x.size}")
+        levels = max_levels
+    if levels < 0:
+        raise ValueError("levels must be non-negative")
+    details: List[np.ndarray] = []
+    approx = x
+    for _ in range(levels):
+        if approx.size % 2 != 0:
+            raise ValueError("signal length not divisible enough for requested levels")
+        approx, det = dwt_step(approx, filt)
+        details.append(det)
+    return [approx] + details[::-1]
+
+
+def waverec(coeffs: Sequence[np.ndarray], wavelet: FilterLike = "haar") -> np.ndarray:
+    """Invert :func:`wavedec`."""
+    filt = _resolve(wavelet)
+    approx = np.asarray(coeffs[0], dtype=np.float64)
+    for det in coeffs[1:]:
+        approx = idwt_step(approx, det, filt)
+    return approx
+
+
+def flatten_coeffs(coeffs: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate a :func:`wavedec` list into the flat coarse-to-fine vector."""
+    return np.concatenate([np.atleast_1d(np.asarray(c, dtype=np.float64)) for c in coeffs])
+
+
+def split_flat(flat: np.ndarray) -> List[np.ndarray]:
+    """Split a flat coarse-to-fine vector of a *full* decomposition back into bands.
+
+    The vector length must be a power of two; bands have sizes
+    ``1, 1, 2, 4, ..., n/2``.
+    """
+    flat = np.asarray(flat, dtype=np.float64)
+    n = flat.size
+    if not is_power_of_two(n):
+        raise ValueError(f"flat coefficient vector length must be a power of two, got {n}")
+    bands = [flat[:1]]
+    pos, size = 1, 1
+    while pos < n:
+        bands.append(flat[pos : pos + size])
+        pos += size
+        size *= 2
+    return bands
+
+
+def full_decompose(x: np.ndarray, wavelet: FilterLike = "haar") -> np.ndarray:
+    """Full decomposition of a power-of-two signal as a flat coarse-to-fine vector."""
+    return flatten_coeffs(wavedec(x, wavelet))
+
+
+def truncate(flat: np.ndarray, k: int) -> np.ndarray:
+    """Keep the first ``k`` coefficients of a flat coarse-to-fine vector."""
+    flat = np.asarray(flat, dtype=np.float64)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return flat[: min(k, flat.size)].copy()
+
+
+def reconstruct(
+    flat: np.ndarray, length: int, wavelet: FilterLike = "haar"
+) -> np.ndarray:
+    """Reconstruct a length-``length`` signal from a (possibly truncated) flat vector.
+
+    Missing fine-scale coefficients are treated as zero — this is the paper's
+    "at each step a zero vector is used as the detail coefficient".
+    """
+    if not is_power_of_two(length):
+        raise ValueError(f"length must be a power of two, got {length}")
+    flat = np.asarray(flat, dtype=np.float64)
+    padded = np.zeros(length, dtype=np.float64)
+    padded[: min(flat.size, length)] = flat[:length]
+    return waverec(split_flat(padded), wavelet)

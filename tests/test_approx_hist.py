@@ -1,0 +1,121 @@
+"""Tests for repro.histogram.approx: the (1+eps) guarantee and its machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.histogram.approx import approximate_histogram, breakpoint_positions
+from repro.histogram.vopt import vopt_histogram
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("method", ["dense", "search"])
+    def test_within_1_plus_eps_of_optimal(self, seed, method):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(8, 70))
+        b = int(rng.integers(2, 9))
+        x = rng.uniform(0, 100, size=n)
+        exact = vopt_histogram(x, b)
+        for eps in (0.05, 0.2, 1.0):
+            ap = approximate_histogram(x, b, eps, method=method)
+            assert ap.sse <= (1 + eps) * exact.sse + 1e-6
+
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=4, max_size=40),
+        st.integers(2, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_guarantee_hypothesis(self, values, b):
+        x = np.asarray(values)
+        exact = vopt_histogram(x, b)
+        ap = approximate_histogram(x, b, 0.1)
+        assert ap.sse <= 1.1 * exact.sse + 1e-6
+
+    def test_methods_agree(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 100, size=50)
+        d = approximate_histogram(x, 5, 0.1, method="dense")
+        s = approximate_histogram(x, 5, 0.1, method="search")
+        assert d.sse == pytest.approx(s.sse, rel=1e-9, abs=1e-9)
+
+    def test_respects_bucket_budget(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0, 100, size=64)
+        for b in (1, 3, 10):
+            assert approximate_histogram(x, b, 0.1).n_buckets <= b
+
+    def test_smaller_eps_never_hurts_much(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0, 100, size=80)
+        loose = approximate_histogram(x, 6, 1.0).sse
+        tight = approximate_histogram(x, 6, 0.01).sse
+        assert tight <= loose + 1e-9
+
+
+class TestEdgeCases:
+    def test_constant_data_zero_error(self):
+        ap = approximate_histogram(np.full(32, 7.0), 4, 0.1)
+        assert ap.sse == pytest.approx(0.0, abs=1e-9)
+        assert all(b.mean == pytest.approx(7.0) for b in ap.buckets)
+
+    def test_empty_input(self):
+        ap = approximate_histogram([], 4, 0.1)
+        assert ap.buckets == []
+
+    def test_single_value(self):
+        ap = approximate_histogram([5.0], 4, 0.1)
+        assert ap.sse == pytest.approx(0.0)
+        assert ap.buckets[0].mean == 5.0
+
+    def test_single_bucket(self):
+        x = np.array([1.0, 9.0])
+        ap = approximate_histogram(x, 1, 0.1)
+        assert ap.buckets[0].mean == pytest.approx(5.0)
+
+    def test_invalid_eps_rejected(self):
+        with pytest.raises(ValueError):
+            approximate_histogram([1.0, 2.0], 2, 0.0)
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            approximate_histogram([1.0, 2.0], 2, 0.1, method="magic")
+
+    def test_buckets_cover_everything(self):
+        rng = np.random.default_rng(6)
+        x = rng.uniform(0, 100, size=33)
+        ap = approximate_histogram(x, 5, 0.1)
+        assert ap.buckets[0].start == 0
+        assert ap.buckets[-1].end == 33
+        for a, b in zip(ap.buckets[:-1], ap.buckets[1:]):
+            assert a.end == b.start
+
+
+class TestBreakpoints:
+    def test_every_position_served_by_a_later_breakpoint(self):
+        """The guarantee's structural property: for every i there is a
+        breakpoint b >= i with errors[b] <= (1+delta) errors[i]."""
+        rng = np.random.default_rng(7)
+        errors = np.sort(rng.uniform(0, 1000, size=100))
+        errors[0] = 0.0
+        delta = 0.05
+        picks = breakpoint_positions(errors, delta)
+        for i in range(errors.size):
+            later = picks[picks >= i]
+            assert later.size > 0
+            assert errors[later[0]] <= (1 + delta) * errors[i] + 1e-12
+
+    def test_all_zero_curve(self):
+        picks = breakpoint_positions(np.zeros(10), 0.1)
+        assert 9 in picks
+
+    def test_delta_must_be_positive(self):
+        with pytest.raises(ValueError):
+            breakpoint_positions(np.zeros(4), 0.0)
+
+    def test_fewer_breakpoints_for_larger_delta(self):
+        errors = np.cumsum(np.ones(200))
+        few = breakpoint_positions(errors, 1.0).size
+        many = breakpoint_positions(errors, 0.01).size
+        assert few < many

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["warp-drive"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_fig4c_quick_prints_table(self, capsys):
+        assert main(["fig4c", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(c)" in out
+        assert "min_level" in out
+
+    def test_space_table(self, capsys):
+        assert main(["space"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 5.1" in out
+
+    def test_every_experiment_has_a_driver(self):
+        expected = {
+            "fig4a", "fig4c", "fig5", "fig6a", "fig6b",
+            "fig9a", "fig9b", "fig9c", "fig10a", "fig10b", "space",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_module_entry_point_importable(self):
+        import repro.__main__  # noqa: F401
+
+
+class TestReport:
+    def test_generate_report_structure(self):
+        """The report generator produces a section per figure (tiny run)."""
+        from repro.experiments.report import _md_table
+
+        text = _md_table([{"a": 1, "b": 2.5}])
+        assert text.startswith("| a | b |")
+        assert "| 1 | 2.5 |" in text
+
+    def test_md_table_empty(self):
+        from repro.experiments.report import _md_table
+
+        assert "(no rows)" in _md_table([])

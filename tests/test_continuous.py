@@ -1,0 +1,89 @@
+"""Tests for repro.core.continuous: standing queries over a SWAT."""
+
+import pytest
+
+from repro.core import ContinuousQueryEngine, Swat, exponential_query, point_query
+from repro.data.synthetic import drift_stream, uniform_stream
+
+
+@pytest.fixture()
+def engine():
+    return ContinuousQueryEngine(Swat(32))
+
+
+class TestRegistration:
+    def test_register_returns_distinct_ids(self, engine):
+        a = engine.register(point_query(0), lambda t, v: None)
+        b = engine.register(point_query(1), lambda t, v: None)
+        assert a != b
+        assert engine.active_subscriptions == 2
+
+    def test_unregister(self, engine):
+        sub = engine.register(point_query(0), lambda t, v: None)
+        engine.unregister(sub)
+        assert engine.active_subscriptions == 0
+        with pytest.raises(KeyError):
+            engine.unregister(sub)
+
+    def test_query_outside_window_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.register(point_query(32), lambda t, v: None)
+
+    def test_negative_delta_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.register(point_query(0), lambda t, v: None, report_delta=-1.0)
+
+
+class TestNotifications:
+    def test_every_change_reported_with_zero_delta(self, engine):
+        fires = []
+        engine.register(point_query(0), lambda t, v: fires.append((t, v)))
+        engine.extend(drift_stream(40, eps=1.0))
+        # Fires once per update after warm-up (the answer always changes).
+        assert len(fires) == 40 - 0  # index 0 valid from the first arrival
+        times = [t for t, __ in fires]
+        assert times == sorted(times)
+
+    def test_report_delta_throttles(self, engine):
+        fires = []
+        engine.register(
+            point_query(0), lambda t, v: fires.append(v), report_delta=10.0
+        )
+        engine.extend(drift_stream(50, eps=1.0))
+        # Drift of 1 per step and threshold 10: roughly one fire per 11 steps.
+        assert 2 <= len(fires) <= 6
+
+    def test_queries_wait_for_enough_data(self, engine):
+        fires = []
+        engine.register(point_query(20), lambda t, v: fires.append(t))
+        engine.extend([1.0] * 10)
+        assert fires == []  # index 20 not yet observed
+        engine.extend([1.0] * 30)
+        assert fires  # fired once index 20 existed
+
+    def test_constant_stream_fires_once(self, engine):
+        fires = []
+        engine.register(
+            exponential_query(8), lambda t, v: fires.append(v), report_delta=0.5
+        )
+        engine.extend([5.0] * 64)
+        assert len(fires) == 1  # first evaluation, then the answer never moves
+
+    def test_update_returns_fire_count(self, engine):
+        engine.register(point_query(0), lambda t, v: None)
+        engine.register(point_query(1), lambda t, v: None)
+        fired = engine.update(1.0)
+        assert fired == 1  # index 1 needs two arrivals
+        fired = engine.update(2.0)
+        assert fired == 2
+
+    def test_subscription_statistics(self, engine):
+        sub = engine.register(point_query(0), lambda t, v: None, report_delta=1e9)
+        engine.extend(uniform_stream(20, seed=0))
+        s = engine.subscription(sub)
+        assert s.evaluations == 20
+        assert s.notifications == 1  # only the initial report
+
+    def test_tree_updates_flow_through_engine(self, engine):
+        engine.extend([1.0, 2.0, 3.0])
+        assert engine.tree.time == 3

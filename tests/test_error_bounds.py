@@ -1,0 +1,135 @@
+"""Tests for repro.core.errors and the Section 2.6 analysis, checked
+empirically against the implementation on the drift stream the analysis
+assumes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Swat,
+    drift_segment_errors,
+    exponential_level_bound,
+    exponential_query_bound,
+    exponential_query,
+    linear_level_bound,
+    linear_query,
+    linear_query_bound,
+)
+from repro.data.synthetic import drift_stream
+
+
+class TestClosedForms:
+    def test_exponential_level_bound_is_2eps(self):
+        for level in range(6):
+            assert exponential_level_bound(0.3, level) == pytest.approx(0.6)
+
+    def test_exponential_total_is_logarithmic(self):
+        eps = 1.0
+        assert exponential_query_bound(eps, 1) == pytest.approx(2.0)
+        assert exponential_query_bound(eps, 8) == pytest.approx(2.0 * 4)
+        assert exponential_query_bound(eps, 1024) == pytest.approx(2.0 * 11)
+
+    def test_linear_level_bound_is_4_to_l(self):
+        assert linear_level_bound(1.0, 0) == 1.0
+        assert linear_level_bound(1.0, 3) == 64.0
+        assert linear_level_bound(0.5, 2) == 8.0
+
+    def test_linear_total_is_quadratic(self):
+        eps = 1.0
+        # sum_{l=0}^{ceil(log M)} 4^l = (4^{top+1} - 1)/3
+        assert linear_query_bound(eps, 8) == pytest.approx((4**4 - 1) / 3)
+
+    @pytest.mark.parametrize("fn", [exponential_level_bound, linear_level_bound])
+    def test_negative_args_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(-1.0, 0)
+        with pytest.raises(ValueError):
+            fn(1.0, -1)
+
+    @pytest.mark.parametrize("fn", [exponential_query_bound, linear_query_bound])
+    def test_zero_length_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(1.0, 0)
+
+
+class TestDriftSegmentErrors:
+    def test_paper_worked_example(self):
+        """R_2's 8-point segment: errors 3.5eps .. 0.5eps mirrored."""
+        eps = 1.0
+        errs = drift_segment_errors(eps, 8)
+        assert errs == pytest.approx([3.5, 2.5, 1.5, 0.5, 0.5, 1.5, 2.5, 3.5])
+
+    def test_single_point_segment_has_zero_error(self):
+        assert drift_segment_errors(2.0, 1) == [0.0]
+
+    def test_scales_linearly_with_eps(self):
+        assert drift_segment_errors(2.0, 4) == pytest.approx(
+            [2 * e for e in drift_segment_errors(1.0, 4)]
+        )
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            drift_segment_errors(1.0, 0)
+
+
+class TestEmpiricalBounds:
+    """Run SWAT on the exact drift stream of the analysis and check that the
+    measured weighted error respects the derived bounds (up to the paper's
+    constants; the bounds are per-level sums, so a small safety factor
+    absorbs the ceil(log M) pieces)."""
+
+    @pytest.mark.parametrize("eps", [0.1, 1.0])
+    @pytest.mark.parametrize("length", [8, 32, 128])
+    def test_exponential_query_error_within_bound(self, eps, length):
+        N = 256
+        tree = Swat(N)
+        stream = drift_stream(3 * N, eps=eps)
+        tree.extend(stream)
+        window = stream[-N:][::-1]
+        q = exponential_query(length)
+        worst = 0.0
+        for v in drift_stream(16, eps=eps, start=stream[-1] + eps):
+            tree.update(v)
+            window = np.concatenate([[v], window[:-1]])
+            ans = tree.answer(q)
+            worst = max(worst, q.weighted_error(window, _padded(ans.estimates, q, N)))
+        assert worst <= 2.0 * exponential_query_bound(eps, length) + 1e-9
+
+    @pytest.mark.parametrize("length", [8, 32])
+    def test_linear_query_error_within_bound(self, length):
+        eps = 0.5
+        N = 256
+        tree = Swat(N)
+        stream = drift_stream(3 * N, eps=eps)
+        tree.extend(stream)
+        window = stream[-N:][::-1]
+        q = linear_query(length)
+        worst = 0.0
+        for v in drift_stream(16, eps=eps, start=stream[-1] + eps):
+            tree.update(v)
+            window = np.concatenate([[v], window[:-1]])
+            ans = tree.answer(q)
+            worst = max(worst, q.weighted_error(window, _padded(ans.estimates, q, N)))
+        assert worst <= 2.0 * linear_query_bound(eps, length) + 1e-9
+
+    def test_linear_error_grows_faster_than_exponential(self):
+        """The core claim of Figure 4(c), on the analysis' own stream."""
+        eps, N = 1.0, 256
+        tree = Swat(N)
+        tree.extend(drift_stream(3 * N, eps=eps))
+        window = drift_stream(3 * N, eps=eps)[-N:][::-1]
+        length = 128
+        q_exp = exponential_query(length)
+        q_lin = linear_query(length)
+        e_exp = q_exp.weighted_error(window, _padded(tree.answer(q_exp).estimates, q_exp, N))
+        e_lin = q_lin.weighted_error(window, _padded(tree.answer(q_lin).estimates, q_lin, N))
+        assert e_lin > e_exp
+
+
+def _padded(estimates, query, n):
+    """Scatter per-query-index estimates into a window-sized array."""
+    out = np.zeros(n)
+    for idx, est in zip(query.indices, estimates):
+        out[idx] = est
+    return out

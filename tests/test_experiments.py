@@ -1,0 +1,143 @@
+"""Smoke tests for the per-figure experiment drivers (scaled-down runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    dataset,
+    fig4a_relative_error,
+    fig4c_levels_sweep,
+    fig5_error_comparison,
+    fig6a_maintenance_time,
+    fig6b_response_time,
+    fig9a_rate_sweep,
+    fig9c_precision_sweep,
+    fig10a_client_sweep,
+    fig10b_precision_sweep_multi,
+    format_table,
+    replication_dataset,
+    space_complexity,
+)
+
+
+class TestDatasets:
+    def test_real_dataset(self):
+        assert dataset("real").size == 2922
+
+    def test_synthetic_dataset_sized(self):
+        assert dataset("synthetic", n=500).size == 500
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            dataset("imaginary")
+
+    def test_replication_dataset_returns_range(self):
+        data, (lo, hi) = replication_dataset("real")
+        assert lo <= data.min() and data.max() <= hi
+
+
+class TestFig4:
+    def test_fig4a_small(self):
+        out = fig4a_relative_error(n_points=800, window_size=256, query_length=32)
+        assert out["relative"].size > 0
+        assert out["cumulative"].size == out["relative"].size
+        assert 0 <= out["mean"] < 1.0
+
+    def test_fig4a_cumulative_is_running_mean(self):
+        out = fig4a_relative_error(n_points=600, window_size=256, query_length=16)
+        manual = np.cumsum(out["relative"]) / np.arange(1, out["relative"].size + 1)
+        assert np.allclose(out["cumulative"], manual)
+
+    def test_fig4c_error_grows_with_dropped_levels(self):
+        rows = fig4c_levels_sweep(n_points=1200, window_size=128, query_length=16)
+        lin = [r["linear"] for r in rows]
+        exp = [r["exponential"] for r in rows]
+        # Coarser trees are never better on average (allow tiny noise).
+        assert lin[-1] > lin[0]
+        assert exp[-1] >= exp[0]
+        # The paper's core claim: linear error grows much faster.
+        assert lin[-1] / max(lin[0], 1e-12) > exp[-1] / max(exp[0], 1e-12)
+
+
+class TestFig5:
+    def test_fig5_fixed_mode_swat_wins_exponential(self):
+        rows = fig5_error_comparison(
+            data="real", mode="fixed", eps_values=(0.1,),
+            window_size=256, n_buckets=24, query_length=32,
+            n_points=1200, query_every=64,
+        )
+        by_kind = {r["kind"]: r for r in rows}
+        assert by_kind["exponential"]["swat"] < by_kind["exponential"]["hist_eps_0.1"]
+
+    def test_fig5_random_mode_runs(self):
+        rows = fig5_error_comparison(
+            data="synthetic", mode="random", eps_values=(0.1,),
+            window_size=256, n_buckets=24, n_points=1200, query_every=64,
+        )
+        assert len(rows) == 2
+        assert all(np.isfinite(r["swat"]) for r in rows)
+
+    def test_fig5_unknown_mode(self):
+        with pytest.raises(ValueError):
+            fig5_error_comparison(mode="psychic", n_points=600, query_every=64)
+
+
+class TestFig6:
+    def test_fig6a_small(self):
+        rows = fig6a_maintenance_time(sizes=(2000, 4000), window_size=256)
+        assert len(rows) == 2
+        assert all(r["swat_seconds"] > 0 for r in rows)
+        # Larger datasets take longer for both techniques.
+        assert rows[1]["swat_seconds"] > rows[0]["swat_seconds"]
+
+    def test_fig6b_swat_is_much_faster(self):
+        out = fig6b_response_time(
+            n_queries=10, n_hist_queries=1, window_size=256, n_buckets=16,
+            hist_method="dense",
+        )
+        assert out["speedup"] > 10.0  # orders of magnitude on full size
+
+
+class TestFig9And10:
+    def test_fig9a_caching_wins_when_reads_dominate(self):
+        rows = fig9a_rate_sweep(
+            data="real", ratios=(0.5, 4.0), measure_time=150.0
+        )
+        assert len(rows) == 2
+        for r in rows:
+            assert r["SWAT-ASR"] >= 0 and r["DC"] >= 0 and r["APS"] >= 0
+
+    def test_fig9c_cost_grows_with_tighter_precision(self):
+        rows = fig9c_precision_sweep(
+            data="real", precisions=(20.0, 1.0), measure_time=150.0
+        )
+        loose, tight = rows[0], rows[1]
+        assert tight["SWAT-ASR"] >= loose["SWAT-ASR"]
+
+    def test_fig10a_multi_client(self):
+        rows = fig10a_client_sweep(
+            data="real", client_counts=(2, 6), measure_time=100.0
+        )
+        assert rows[1]["SWAT-ASR"] > rows[0]["SWAT-ASR"]  # more clients, more msgs
+
+    def test_fig10b_runs(self):
+        rows = fig10b_precision_sweep_multi(
+            precisions=(20.0, 5.0), measure_time=100.0
+        )
+        assert len(rows) == 2
+
+    def test_space_complexity_table(self):
+        rows = space_complexity(window_sizes=(32, 256), n_clients=6)
+        assert rows[0]["DC_total"] == 6 * 32
+        assert rows[0]["SWAT-ASR_per_site"] == 5
+        assert rows[1]["DC_total"] // rows[0]["DC_total"] == 8  # O(N) growth
+        assert rows[1]["SWAT-ASR_per_site"] - rows[0]["SWAT-ASR_per_site"] == 3  # O(log N)
+
+
+class TestFormatTable:
+    def test_renders_rows(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}], title="t")
+        assert "t" in text and "a" in text and "10" in text
+
+    def test_empty(self):
+        assert "(empty)" in format_table([], title="x")

@@ -1,0 +1,127 @@
+"""Tests for repro.wavelets.filters: filter banks and their invariants."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.wavelets.filters import (
+    WaveletFilter,
+    available_wavelets,
+    daubechies_filter,
+    get_filter,
+    quadrature_mirror,
+)
+
+
+class TestDaubechiesDerivation:
+    def test_db1_is_haar(self):
+        h = daubechies_filter(1)
+        assert np.allclose(h, [1 / math.sqrt(2)] * 2)
+
+    def test_db2_matches_published_values(self):
+        # Classic D4 coefficients: (1 ± sqrt(3)) / (4 sqrt(2)) family.
+        expected = np.array(
+            [
+                (1 + math.sqrt(3)) / (4 * math.sqrt(2)),
+                (3 + math.sqrt(3)) / (4 * math.sqrt(2)),
+                (3 - math.sqrt(3)) / (4 * math.sqrt(2)),
+                (1 - math.sqrt(3)) / (4 * math.sqrt(2)),
+            ]
+        )
+        h = daubechies_filter(2)
+        assert np.allclose(h, expected, atol=1e-10)
+
+    def test_db3_matches_published_leading_value(self):
+        h = daubechies_filter(3)
+        assert h.size == 6
+        assert h[0] == pytest.approx(0.3326705529500825, abs=1e-9)
+
+    @pytest.mark.parametrize("n", range(1, 11))
+    def test_length_is_twice_moments(self, n):
+        assert daubechies_filter(n).size == 2 * n
+
+    @pytest.mark.parametrize("n", range(1, 11))
+    def test_sum_is_sqrt2(self, n):
+        assert daubechies_filter(n).sum() == pytest.approx(math.sqrt(2), abs=1e-9)
+
+    @pytest.mark.parametrize("n", range(2, 11))
+    def test_vanishing_moments(self, n):
+        """The high-pass filter annihilates polynomials up to degree n-1."""
+        h = daubechies_filter(n)
+        g = quadrature_mirror(h)
+        k = np.arange(g.size, dtype=np.float64)
+        for degree in range(n):
+            scale = float(np.dot(np.abs(g), k**degree)) + 1.0
+            assert abs(float(np.dot(g, k**degree))) <= 1e-8 * scale
+
+    def test_rejects_zero_moments(self):
+        with pytest.raises(ValueError):
+            daubechies_filter(0)
+
+
+class TestQuadratureMirror:
+    def test_haar_mirror(self):
+        g = quadrature_mirror(np.array([1.0, 1.0]) / math.sqrt(2))
+        assert np.allclose(g, [1 / math.sqrt(2), -1 / math.sqrt(2)])
+
+    def test_alternating_signs(self):
+        h = np.array([1.0, 2.0, 3.0, 4.0])
+        g = quadrature_mirror(h)
+        assert np.allclose(g, [4.0, -3.0, 2.0, -1.0])
+
+    def test_orthogonal_to_lowpass(self):
+        for name in available_wavelets():
+            f = get_filter(name)
+            assert float(np.dot(f.lowpass, f.highpass)) == pytest.approx(0.0, abs=1e-8)
+
+
+class TestGetFilter:
+    @pytest.mark.parametrize("name", ["haar", "db1", "db2", "db4", "db10", "sym4", "sym8", "coif1", "coif3"])
+    def test_known_names(self, name):
+        f = get_filter(name)
+        assert isinstance(f, WaveletFilter)
+        assert f.length % 2 == 0
+
+    @pytest.mark.parametrize("name", available_wavelets())
+    def test_all_advertised_filters_are_orthonormal(self, name):
+        assert get_filter(name).check_orthonormal()
+
+    def test_haar_aliases_db1(self):
+        assert np.allclose(get_filter("haar").lowpass, get_filter("db1").lowpass)
+
+    @pytest.mark.parametrize("name", ["db0", "db11", "sym5", "meyer", "nonsense", "dbx"])
+    def test_unknown_names_raise(self, name):
+        with pytest.raises(ValueError):
+            get_filter(name)
+
+    def test_lookup_is_cached(self):
+        assert get_filter("db4") is get_filter("db4")
+
+    def test_case_insensitive(self):
+        assert np.allclose(get_filter("HAAR").lowpass, get_filter("haar").lowpass)
+
+
+class TestWaveletFilter:
+    def test_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            WaveletFilter("bad", np.array([1.0, 2.0, 3.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WaveletFilter("bad", np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            WaveletFilter("bad", np.ones((2, 2)))
+
+    def test_non_orthonormal_detected(self):
+        f = WaveletFilter("fake", np.array([1.0, 1.0]))  # sum is 2, not sqrt(2)
+        assert not f.check_orthonormal()
+
+    def test_repr_mentions_name(self):
+        assert "db4" in repr(get_filter("db4"))
+
+    def test_vanishing_moments_property(self):
+        assert get_filter("db4").vanishing_moments == 4
+        assert get_filter("haar").vanishing_moments == 1

@@ -1,0 +1,111 @@
+"""Tests for repro.wavelets.haar: the O(k) combine used by SWAT nodes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wavelets.haar import combine_haar, haar_average, haar_reconstruct, leaf_coeffs
+from repro.wavelets.transform import full_decompose, reconstruct, truncate
+
+
+def _pow2_lists(min_log=1, max_log=5):
+    return st.integers(min_log, max_log).flatmap(
+        lambda m: st.lists(
+            st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+            min_size=2**m,
+            max_size=2**m,
+        )
+    )
+
+
+class TestLeafCoeffs:
+    def test_average_matches_paper_trace(self):
+        # Figure 2, t=1: R_0 stores the average of 14 (older) and 4 (newer).
+        coeffs = leaf_coeffs(newer=4.0, older=14.0, k=1)
+        assert haar_average(coeffs, 2) == pytest.approx(9.0)
+
+    def test_two_coefficients_reconstruct_exactly(self):
+        coeffs = leaf_coeffs(newer=4.0, older=14.0, k=2)
+        rec = haar_reconstruct(coeffs, 2)
+        assert np.allclose(rec, [14.0, 4.0])  # oldest-first
+
+    def test_k_clamped_to_two(self):
+        assert leaf_coeffs(1.0, 2.0, k=10).size == 2
+
+    def test_matches_full_decompose(self):
+        assert np.allclose(
+            leaf_coeffs(newer=3.0, older=7.0, k=2), full_decompose([7.0, 3.0], "haar")
+        )
+
+
+class TestCombine:
+    @given(_pow2_lists(), st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_combine_equals_truncated_full_transform(self, xs, k):
+        """Combining k-truncated children == truncating the parent transform."""
+        x = np.array(xs)
+        half = x.size // 2
+        if half == 0:
+            return
+        left = truncate(full_decompose(x[:half], "haar"), k)
+        right = truncate(full_decompose(x[half:], "haar"), k)
+        combined = combine_haar(left, right, k)
+        expected = truncate(full_decompose(x, "haar"), k)
+        expected = np.pad(expected, (0, max(0, k - expected.size)))
+        tol = 1e-9 * (1 + np.abs(x).max())
+        assert np.allclose(combined, expected[:k], atol=tol)
+
+    def test_combine_preserves_average(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 100, size=16)
+        left = truncate(full_decompose(x[:8], "haar"), 1)
+        right = truncate(full_decompose(x[8:], "haar"), 1)
+        parent = combine_haar(left, right, 1)
+        assert haar_average(parent, 16) == pytest.approx(x.mean())
+
+    def test_repeated_combining_is_exact(self):
+        """Build a 16-point summary by cascaded pairwise combines."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=16)
+        k = 4
+        nodes = [truncate(full_decompose(x[i : i + 2], "haar"), k) for i in range(0, 16, 2)]
+        while len(nodes) > 1:
+            nodes = [
+                combine_haar(nodes[i], nodes[i + 1], k) for i in range(0, len(nodes), 2)
+            ]
+        expected = truncate(full_decompose(x, "haar"), k)
+        assert np.allclose(nodes[0], expected)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            combine_haar(np.array([1.0]), np.array([1.0]), 0)
+
+    def test_empty_children_treated_as_zero(self):
+        out = combine_haar(np.array([]), np.array([2.0]), 2)
+        assert out[0] == pytest.approx(2.0 / np.sqrt(2.0))
+        assert out[1] == pytest.approx(-2.0 / np.sqrt(2.0))
+
+
+class TestHaarReconstruct:
+    @given(_pow2_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_generic_reconstruct(self, xs):
+        x = np.array(xs)
+        flat = full_decompose(x, "haar")
+        for k in (1, 2, x.size):
+            fast = haar_reconstruct(truncate(flat, k), x.size)
+            generic = reconstruct(truncate(flat, k), x.size, "haar")
+            assert np.allclose(fast, generic, atol=1e-8 * (1 + np.abs(x).max()))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            haar_reconstruct(np.array([1.0]), 6)
+
+    def test_average_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            haar_average(np.array([1.0]), 3)
+
+    def test_single_coefficient_gives_constant_segment(self):
+        rec = haar_reconstruct(np.array([8.0]), 4)
+        assert np.allclose(rec, 8.0 / 2.0)  # a / sqrt(len)

@@ -1,0 +1,111 @@
+"""Tests for repro.histogram.incremental: per-arrival histogram maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.histogram.incremental import IncrementalHistogram
+from repro.histogram.vopt import vopt_histogram
+
+
+class TestMaintenance:
+    def test_empty(self):
+        inc = IncrementalHistogram(4, 0.1)
+        assert inc.size == 0
+        assert inc.error_estimate() == 0.0
+        assert inc.histogram().buckets == []
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            IncrementalHistogram(0)
+        with pytest.raises(ValueError):
+            IncrementalHistogram(4, eps=0.0)
+
+    def test_rejects_non_finite(self):
+        inc = IncrementalHistogram(4)
+        with pytest.raises(ValueError):
+            inc.update(float("inf"))
+
+    def test_error_estimate_monotone_in_stream_length(self):
+        rng = np.random.default_rng(0)
+        inc = IncrementalHistogram(4, 0.1)
+        prev = 0.0
+        for v in rng.uniform(0, 100, 200):
+            inc.update(v)
+            est = inc.error_estimate()
+            assert est >= prev - 1e-9  # prefix SSE curves are non-decreasing
+            prev = est
+
+    def test_breakpoint_space_is_sublinear(self):
+        rng = np.random.default_rng(1)
+        inc = IncrementalHistogram(4, eps=1.0)
+        inc.extend(rng.uniform(0, 100, 3000))
+        # Stored state is O(B * (1/delta) * log(error range)) per level,
+        # far below one entry per arrival once delta is non-trivial.
+        assert inc.breakpoint_count < 4 * 3000 / 4
+        per_level = [level.stored for level in inc._levels]
+        assert all(p < 1000 for p in per_level)
+
+    def test_per_arrival_cost_bounded(self):
+        import time
+
+        rng = np.random.default_rng(2)
+        inc = IncrementalHistogram(8, 0.2)
+        inc.extend(rng.uniform(0, 100, 1000))
+        t0 = time.perf_counter()
+        for v in rng.uniform(0, 100, 500):
+            inc.update(v)
+        per_arrival = (time.perf_counter() - t0) / 500
+        assert per_arrival < 0.01  # milliseconds, not a rebuild
+
+
+class TestApproximationQuality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_error_estimate_near_optimal(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(20, 120))
+        b = int(rng.integers(2, 6))
+        x = rng.uniform(0, 100, n)
+        inc = IncrementalHistogram(b, eps=0.1)
+        inc.extend(x)
+        exact = vopt_histogram(x, b).sse
+        # One (1+delta) per level plus one per breakpoint gap.
+        assert exact - 1e-9 <= inc.error_estimate() <= 1.25 * exact + 1e-6
+
+    def test_extracted_histogram_quality(self):
+        rng = np.random.default_rng(9)
+        x = rng.uniform(0, 100, 150)
+        inc = IncrementalHistogram(5, eps=0.1)
+        inc.extend(x)
+        hist = inc.histogram()
+        exact = vopt_histogram(x, 5).sse
+        assert hist.sse <= 1.6 * exact + 1e-6  # extraction is candidate-limited
+        assert hist.n_buckets <= 5
+        assert hist.buckets[0].start == 0
+        assert hist.buckets[-1].end == 150
+
+    def test_two_cluster_stream(self):
+        x = np.concatenate([np.zeros(40), np.full(40, 100.0)])
+        inc = IncrementalHistogram(2, eps=0.1)
+        inc.extend(x)
+        hist = inc.histogram()
+        assert hist.sse == pytest.approx(0.0, abs=1e-6)
+        assert sorted(b.mean for b in hist.buckets) == [0.0, 100.0]
+
+    def test_constant_stream(self):
+        inc = IncrementalHistogram(3, eps=0.1)
+        inc.extend(np.full(100, 42.0))
+        assert inc.error_estimate() == pytest.approx(0.0, abs=1e-9)
+        assert inc.histogram().buckets[0].mean == pytest.approx(42.0)
+
+    def test_matches_batch_variant_in_band(self):
+        """Incremental and batch variants approximate the same optimum."""
+        from repro.histogram.approx import approximate_histogram
+
+        rng = np.random.default_rng(10)
+        x = rng.uniform(0, 100, 200)
+        inc = IncrementalHistogram(6, eps=0.1)
+        inc.extend(x)
+        batch = approximate_histogram(x, 6, eps=0.1)
+        exact = vopt_histogram(x, 6).sse
+        assert inc.error_estimate() <= 1.25 * exact + 1e-6
+        assert batch.sse <= 1.1 * exact + 1e-6

@@ -1,0 +1,77 @@
+"""Tests for repro.data.loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import load_series, save_series
+
+
+class TestPlainFiles:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "series.txt"
+        values = np.array([1.5, -2.0, 3.25])
+        save_series(path, values)
+        assert np.array_equal(load_series(path), values)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "series.txt"
+        path.write_text("1.0\n\n2.0\n   \n3.0\n")
+        assert np.array_equal(load_series(path), [1.0, 2.0, 3.0])
+
+    def test_bad_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "series.txt"
+        path.write_text("1.0\nbanana\n")
+        with pytest.raises(ValueError, match="line 2"):
+            load_series(path)
+
+    def test_skip_bad(self, tmp_path):
+        path = tmp_path / "series.txt"
+        path.write_text("1.0\nbanana\ninf\n2.0\n")
+        assert np.array_equal(load_series(path, skip_bad=True), [1.0, 2.0])
+
+    def test_non_finite_rejected(self, tmp_path):
+        path = tmp_path / "series.txt"
+        path.write_text("nan\n")
+        with pytest.raises(ValueError, match="non-finite"):
+            load_series(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "series.txt"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no usable values"):
+            load_series(path)
+
+
+class TestCsvFiles:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "weather.csv"
+        values = np.array([18.0, 19.5, 21.0])
+        save_series(path, values, column="max_temp")
+        assert np.array_equal(load_series(path, column="max_temp"), values)
+
+    def test_multi_column(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("date,temp\n1994-01-01,15.5\n1994-01-02,16.0\n")
+        assert np.array_equal(load_series(path, column="temp"), [15.5, 16.0])
+
+    def test_missing_column(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="column 'c'"):
+            load_series(path, column="c")
+
+    def test_bad_cell_reports_line(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("temp\n15.5\noops\n")
+        with pytest.raises(ValueError, match="line 3"):
+            load_series(path, column="temp")
+
+    def test_loaded_series_feeds_swat(self, tmp_path):
+        """End to end: a user CSV drives the summary."""
+        from repro import Swat
+
+        path = tmp_path / "data.csv"
+        save_series(path, np.linspace(0, 50, 40), column="v")
+        tree = Swat(16)
+        tree.extend(load_series(path, column="v"))
+        assert tree.size == 16

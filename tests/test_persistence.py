@@ -1,0 +1,76 @@
+"""Tests for Swat checkpoint/restore (to_state / from_state)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Swat, exponential_query
+from repro.data import uniform_stream
+
+
+def checkpointed_pair(n_fed=300, **kwargs):
+    stream = uniform_stream(n_fed + 200, seed=0)
+    original = Swat(64, **kwargs)
+    original.extend(stream[:n_fed])
+    restored = Swat.from_state(original.to_state())
+    return original, restored, stream
+
+
+class TestRoundTrip:
+    def test_state_is_json_serializable(self):
+        original, __, __ = checkpointed_pair()
+        text = json.dumps(original.to_state())
+        restored = Swat.from_state(json.loads(text))
+        assert restored.time == original.time
+
+    def test_restored_tree_answers_identically(self):
+        original, restored, __ = checkpointed_pair()
+        q = exponential_query(32)
+        assert restored.answer(q).value == original.answer(q).value
+        assert np.array_equal(restored.reconstruct_window(), original.reconstruct_window())
+
+    def test_restored_tree_continues_identically(self):
+        original, restored, stream = checkpointed_pair()
+        for v in stream[300:400]:
+            original.update(v)
+            restored.update(v)
+        assert np.array_equal(
+            restored.reconstruct_window(), original.reconstruct_window()
+        )
+        for node_a, node_b in zip(original.nodes(), restored.nodes()):
+            assert node_a.end_time == node_b.end_time
+
+    @pytest.mark.parametrize("kwargs", [{"k": 4}, {"min_level": 2}, {"wavelet": "db2", "k": 4}])
+    def test_configurations_preserved(self, kwargs):
+        original, restored, __ = checkpointed_pair(**kwargs)
+        assert restored.k == original.k
+        assert restored.wavelet == original.wavelet
+        assert restored.min_level == original.min_level
+        assert restored.use_raw_leaves == original.use_raw_leaves
+
+    def test_cold_tree_roundtrip(self):
+        tree = Swat(16)
+        restored = Swat.from_state(tree.to_state())
+        assert restored.time == 0
+        assert not any(n.is_filled for n in restored.nodes())
+
+
+class TestValidation:
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            Swat.from_state({"window_size": 16})
+
+    def test_bad_node_entry_rejected(self):
+        original, __, __ = checkpointed_pair()
+        state = original.to_state()
+        state["nodes"][0] = {"level": 99}
+        with pytest.raises(ValueError, match="malformed"):
+            Swat.from_state(state)
+
+    def test_bad_window_size_propagates(self):
+        with pytest.raises(ValueError):
+            Swat.from_state({
+                "window_size": 5, "k": 1, "wavelet": "haar", "min_level": 0,
+                "use_raw_leaves": True, "time": 0, "buffer": [], "nodes": [],
+            })

@@ -1,0 +1,87 @@
+"""Tests for repro.histogram.prefix: sliding-window prefix statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.histogram.prefix import PrefixStats
+
+
+class TestBasics:
+    def test_empty(self):
+        p = PrefixStats(8)
+        assert p.size == 0
+        assert p.window().size == 0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            PrefixStats(0)
+
+    def test_size_caps_at_window(self):
+        p = PrefixStats(4)
+        for v in range(10):
+            p.update(v)
+        assert p.size == 4
+        assert np.allclose(p.window(), [6, 7, 8, 9])
+
+    def test_value_at(self):
+        p = PrefixStats(4)
+        for v in [5.0, 6.0, 7.0]:
+            p.update(v)
+        assert p.value_at(0) == 5.0
+        assert p.value_at(2) == 7.0
+        with pytest.raises(IndexError):
+            p.value_at(3)
+
+    def test_interval_bounds_checked(self):
+        p = PrefixStats(4)
+        p.update(1.0)
+        with pytest.raises(IndexError):
+            p.sse(0, 2)
+        with pytest.raises(IndexError):
+            p.interval_sum(-1, 1)
+
+
+class TestAgainstNumpy:
+    @given(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=60),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sums_and_sse_match_reference(self, values, window):
+        p = PrefixStats(window)
+        for v in values:
+            p.update(v)
+        ref = np.asarray(values[-window:], dtype=np.float64)
+        assert np.allclose(p.window(), ref)
+        n = ref.size
+        for i in range(n + 1):
+            for j in range(i, n + 1):
+                assert p.interval_sum(i, j) == pytest.approx(ref[i:j].sum(), abs=1e-6)
+                if j > i:
+                    seg = ref[i:j]
+                    expected_sse = float(np.sum((seg - seg.mean()) ** 2))
+                    assert p.sse(i, j) == pytest.approx(expected_sse, abs=1e-5)
+
+    def test_sse_never_negative_under_cancellation(self):
+        p = PrefixStats(8)
+        for v in [1e8, 1e8 + 1, 1e8 - 1, 1e8]:
+            p.update(v)
+        assert p.sse(0, 4) >= 0.0
+
+    def test_compaction_preserves_statistics(self):
+        p = PrefixStats(4)
+        for v in range(100):  # forces several compactions
+            p.update(float(v))
+        assert np.allclose(p.window(), [96, 97, 98, 99])
+        assert p.interval_sum(0, 4) == pytest.approx(96 + 97 + 98 + 99)
+        assert p.sse(0, 4) == pytest.approx(5.0)
+
+    def test_prefix_arrays_shape_and_values(self):
+        p = PrefixStats(4)
+        for v in [2.0, 4.0, 6.0]:
+            p.update(v)
+        csum, csq = p.prefix_arrays()
+        assert np.allclose(csum, [0, 2, 6, 12])
+        assert np.allclose(csq, [0, 4, 20, 56])

@@ -1,0 +1,134 @@
+"""Tests for repro.core.queries: the Section 2.1 query model."""
+
+import numpy as np
+import pytest
+
+from repro.core.queries import (
+    InnerProductQuery,
+    RangeQuery,
+    exponential_query,
+    linear_query,
+    point_query,
+)
+
+
+class TestInnerProductQuery:
+    def test_paper_exponential_example(self):
+        # ([0,1,2,3], [8,4,2,1], 20) is the paper's exponential example; our
+        # constructor normalises to leading weight 1.
+        q = exponential_query(4, precision=20.0)
+        assert q.indices == (0, 1, 2, 3)
+        assert q.weights == (1.0, 0.5, 0.25, 0.125)
+        assert q.precision == 20.0
+
+    def test_paper_linear_example(self):
+        # ([8,9,10,11], [4,3,2,1], 40) normalised to weights M-i over M.
+        q = linear_query(4, start=8, precision=40.0)
+        assert q.indices == (8, 9, 10, 11)
+        assert q.weights == (1.0, 0.75, 0.5, 0.25)
+
+    def test_point_query_is_unit_inner_product(self):
+        q = point_query(12, precision=3.0)
+        assert q.indices == (12,)
+        assert q.weights == (1.0,)
+        assert q.length == 1
+
+    def test_evaluate(self):
+        q = InnerProductQuery((0, 2), (2.0, 0.5))
+        values = np.array([10.0, 99.0, 4.0])
+        assert q.evaluate(values) == pytest.approx(2 * 10 + 0.5 * 4)
+
+    def test_evaluate_out_of_range(self):
+        q = point_query(5)
+        with pytest.raises(IndexError):
+            q.evaluate([1.0, 2.0])
+
+    def test_weighted_error_definition(self):
+        q = InnerProductQuery((0, 1), (2.0, 1.0))
+        err = q.weighted_error([10.0, 20.0], [11.0, 18.0])
+        assert err == pytest.approx(2 * 1 + 1 * 2)
+
+    def test_length_and_max_index(self):
+        q = linear_query(5, start=3)
+        assert q.length == 5
+        assert q.max_index == 7
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            InnerProductQuery((0, 1), (1.0,))
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            InnerProductQuery((), ())
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError):
+            InnerProductQuery((1, 1), (1.0, 1.0))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            InnerProductQuery((-1,), (1.0,))
+
+    def test_negative_precision_rejected(self):
+        with pytest.raises(ValueError):
+            InnerProductQuery((0,), (1.0,), precision=-1.0)
+
+    def test_default_precision_is_infinite(self):
+        assert InnerProductQuery((0,), (1.0,)).precision == float("inf")
+
+    def test_frozen(self):
+        q = point_query(0)
+        with pytest.raises(AttributeError):
+            q.precision = 1.0
+
+
+class TestConstructors:
+    def test_exponential_weights_decay_geometrically(self):
+        q = exponential_query(6, ratio=3.0)
+        ratios = [q.weights[i] / q.weights[i + 1] for i in range(5)]
+        assert all(r == pytest.approx(3.0) for r in ratios)
+
+    def test_linear_weights_decay_linearly(self):
+        q = linear_query(10)
+        diffs = {round(q.weights[i] - q.weights[i + 1], 9) for i in range(9)}
+        assert diffs == {round(0.1, 9)}
+
+    def test_start_offset(self):
+        q = exponential_query(3, start=7)
+        assert q.indices == (7, 8, 9)
+
+    @pytest.mark.parametrize("bad_len", [0, -1])
+    def test_bad_length_rejected(self, bad_len):
+        with pytest.raises(ValueError):
+            exponential_query(bad_len)
+        with pytest.raises(ValueError):
+            linear_query(bad_len)
+
+    def test_exponential_ratio_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            exponential_query(4, ratio=1.0)
+
+
+class TestRangeQuery:
+    def test_bounds(self):
+        rq = RangeQuery(value=10.0, radius=2.0, t_start=0, t_end=5)
+        assert rq.low == 8.0
+        assert rq.high == 12.0
+
+    def test_matches(self):
+        rq = RangeQuery(10.0, 2.0, 0, 5)
+        assert rq.matches(8.0)
+        assert rq.matches(12.0)
+        assert not rq.matches(12.01)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQuery(1.0, -0.1, 0, 1)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQuery(1.0, 1.0, 5, 3)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQuery(1.0, 1.0, -1, 3)

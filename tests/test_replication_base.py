@@ -1,0 +1,44 @@
+"""Tests for repro.replication.base: tolerance allocation helpers."""
+
+import pytest
+
+from repro.core.queries import InnerProductQuery, linear_query, point_query
+from repro.replication.base import per_index_tolerances, uniform_tolerance
+
+
+class TestUniformTolerance:
+    def test_point_query_tolerance_is_delta(self):
+        assert uniform_tolerance(point_query(3, precision=8.0)) == 8.0
+
+    def test_weighted_sum_equals_delta(self):
+        q = linear_query(8, precision=12.0)
+        tol = uniform_tolerance(q)
+        assert sum(w * tol for w in q.weights) == pytest.approx(12.0)
+
+    def test_zero_weights_rejected(self):
+        q = InnerProductQuery((0, 1), (0.0, 0.0), precision=1.0)
+        with pytest.raises(ValueError):
+            uniform_tolerance(q)
+
+
+class TestPerIndexTolerances:
+    def test_point_query(self):
+        tols = per_index_tolerances(point_query(3, precision=8.0))
+        assert tols == {3: 8.0}
+
+    def test_weighted_sum_equals_delta(self):
+        q = linear_query(8, precision=12.0)
+        tols = per_index_tolerances(q)
+        total = sum(w * tols[i] for i, w in zip(q.indices, q.weights))
+        assert total == pytest.approx(12.0)
+
+    def test_high_weight_items_get_tight_tolerance(self):
+        q = linear_query(8, precision=12.0)
+        tols = per_index_tolerances(q)
+        assert tols[0] < tols[7]  # index 0 carries weight 1, index 7 weight 1/8
+
+    def test_non_positive_weight_rejected(self):
+        q = InnerProductQuery((0,), (0.0,), precision=1.0)
+        # frozen dataclass allows 0 weight; the allocator must refuse it
+        with pytest.raises(ValueError):
+            per_index_tolerances(q)

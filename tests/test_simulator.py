@@ -1,0 +1,134 @@
+"""Tests for repro.simulate: the discrete event simulator and periodic tasks."""
+
+import pytest
+
+from repro.simulate import PeriodicTask, Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(5.0, lambda: log.append("b"))
+        sim.schedule_at(1.0, lambda: log.append("a"))
+        sim.schedule_at(9.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        log = []
+        for name in "abc":
+            sim.schedule_at(3.0, lambda n=name: log.append(n))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_run_until_stops_at_deadline(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(1.0, lambda: log.append(1))
+        sim.schedule_at(10.0, lambda: log.append(10))
+        sim.run_until(5.0)
+        assert log == [1]
+        assert sim.now == 5.0
+        sim.run_until(20.0)
+        assert log == [1, 10]
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_at(4.0, lambda: sim.schedule_after(2.0, lambda: out.append(sim.now)))
+        sim.run()
+        assert out == [6.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_after(-1.0, lambda: None)
+
+    def test_events_during_execution_are_picked_up(self):
+        sim = Simulator()
+        log = []
+
+        def chain():
+            log.append(sim.now)
+            if sim.now < 3:
+                sim.schedule_after(1.0, chain)
+
+        sim.schedule_at(0.0, chain)
+        sim.run()
+        assert log == [0.0, 1.0, 2.0, 3.0]
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        log = []
+
+        def forever():
+            log.append(sim.now)
+            sim.schedule_after(1.0, forever)
+
+        sim.schedule_at(0.0, forever)
+        sim.run(max_events=5)
+        assert len(log) == 5
+        assert sim.events_run == 5
+
+    def test_step_on_empty_queue(self):
+        assert Simulator().step() is False
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTask(sim, 2.0, lambda t: ticks.append((t, sim.now)))
+        sim.run_until(7.0)
+        assert ticks == [(0, 2.0), (1, 4.0), (2, 6.0)]
+
+    def test_start_at_override(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(sim, 1.0, lambda t: times.append(sim.now), start_at=0.0)
+        sim.run_until(2.5)
+        assert times == [0.0, 1.0, 2.0]
+
+    def test_max_ticks(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTask(sim, 1.0, lambda t: ticks.append(t), max_ticks=3)
+        sim.run_until(100.0)
+        assert ticks == [0, 1, 2]
+
+    def test_cancel_stops_future_firings(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda t: ticks.append(t))
+        sim.schedule_at(2.5, task.cancel)
+        sim.run_until(10.0)
+        assert ticks == [0, 1]
+        assert not task.is_active
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(Simulator(), 0.0, lambda t: None)
+
+    def test_two_interleaved_tasks(self):
+        sim = Simulator()
+        log = []
+        PeriodicTask(sim, 2.0, lambda t: log.append("slow"))
+        PeriodicTask(sim, 1.0, lambda t: log.append("fast"))
+        sim.run_until(4.0)
+        assert log.count("fast") == 4
+        assert log.count("slow") == 2

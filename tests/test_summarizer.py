@@ -1,0 +1,99 @@
+"""Tests for repro.histogram.summarizer: the Histogram competitor's API."""
+
+import numpy as np
+import pytest
+
+from repro.core import RangeQuery, exponential_query, point_query
+from repro.data.synthetic import uniform_stream
+from repro.histogram.summarizer import HistogramSummary
+
+
+@pytest.fixture()
+def summary():
+    hs = HistogramSummary(64, n_buckets=8, eps=0.1)
+    hs.extend(uniform_stream(200, seed=0))
+    return hs
+
+
+class TestApi:
+    def test_size_caps_at_window(self, summary):
+        assert summary.size == 64
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            HistogramSummary(64, n_buckets=0)
+
+    def test_builds_counted_per_query(self, summary):
+        before = summary.builds
+        summary.answer(exponential_query(8))
+        summary.answer(point_query(3))
+        assert summary.builds == before + 2
+
+    def test_update_does_not_build(self):
+        hs = HistogramSummary(64, n_buckets=8)
+        hs.extend(uniform_stream(100, seed=1))
+        assert hs.builds == 0
+
+    def test_repr(self, summary):
+        assert "B=8" in repr(summary)
+
+
+class TestAnswers:
+    def test_point_estimate_is_bucket_mean(self, summary):
+        hist = summary.build()
+        dense = hist.dense()
+        for idx in (0, 10, 63):
+            est = summary.point_estimate(idx)
+            assert est == pytest.approx(dense[summary.size - 1 - idx])
+
+    def test_newest_first_index_semantics(self):
+        """Index 0 must be the most recent arrival's bucket."""
+        hs = HistogramSummary(8, n_buckets=8, eps=0.1)  # B = N: exact buckets
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+        hs.extend(values)
+        assert hs.point_estimate(0) == pytest.approx(8.0)
+        assert hs.point_estimate(7) == pytest.approx(1.0)
+
+    def test_answer_matches_manual_weighted_sum(self, summary):
+        q = exponential_query(8)
+        est = summary.estimates(list(q.indices))
+        assert summary.answer(q) == pytest.approx(float(np.dot(q.weights, est)))
+
+    def test_out_of_range_rejected(self, summary):
+        with pytest.raises(IndexError):
+            summary.point_estimate(64)
+
+    def test_range_query(self, summary):
+        rq = RangeQuery(value=50.0, radius=50.0, t_start=0, t_end=63)
+        hits = summary.answer_range(rq)
+        assert len(hits) == 64  # radius covers the whole data range
+
+    def test_range_query_empty(self, summary):
+        rq = RangeQuery(value=1e6, radius=1.0, t_start=0, t_end=10)
+        assert summary.answer_range(rq) == []
+
+    def test_range_query_degenerate_interval(self, summary):
+        rq = RangeQuery(value=50.0, radius=10.0, t_start=60, t_end=63)
+        hits = summary.answer_range(rq)
+        assert all(60 <= i <= 63 for i, __ in hits)
+
+
+class TestAccuracy:
+    def test_exact_when_buckets_equal_window(self):
+        hs = HistogramSummary(16, n_buckets=16, eps=0.1)
+        stream = uniform_stream(50, seed=2)
+        hs.extend(stream)
+        window = stream[-16:][::-1]
+        est = hs.estimates(list(range(16)))
+        assert np.allclose(est, window, atol=1e-8)
+
+    def test_more_buckets_do_not_increase_error(self):
+        stream = uniform_stream(120, seed=3)
+        errors = []
+        for b in (2, 8, 32):
+            hs = HistogramSummary(32, n_buckets=b, eps=0.1)
+            hs.extend(stream)
+            window = stream[-32:][::-1]
+            est = hs.estimates(list(range(32)))
+            errors.append(float(np.abs(est - window).sum()))
+        assert errors[0] >= errors[1] >= errors[2]

@@ -1,0 +1,130 @@
+"""SWAT vs the paper's worked examples: the Figure 2 execution trace and the
+Section 2.4 query-cover walk-through.
+
+These tests pin the implementation to the exact numbers and node/segment
+assignments printed in the paper, so any regression in the update schedule,
+the shift pipeline, or the cover scan shows up here first.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Swat
+
+# An initial window consistent with every value the trace text states:
+# newest-first the trace needs rel0=14, rel1=12 (R_0 = 26/2), rel2=2
+# (S_0 = 14/2), rel3=4 (R_1 = 32/4), rel4+rel5=2 (S_1 = 8/4).
+INITIAL = [21, 19, 17, 15, 13, 11, 9, 7, 5, 3, 1, 1, 4, 2, 12, 14]  # oldest first
+ARRIVALS = [4, 6, 2, 10, 4]  # the five new data values of Figure 2
+
+
+@pytest.fixture()
+def warm_tree():
+    tree = Swat(16)
+    tree.extend(INITIAL)
+    return tree
+
+
+def _avg(tree, level, role):
+    return tree.node(level, role).average()
+
+
+class TestFigure2Trace:
+    def test_t0_initial_state(self, warm_tree):
+        assert _avg(warm_tree, 0, "R") == pytest.approx(26 / 2)
+        assert _avg(warm_tree, 0, "S") == pytest.approx(14 / 2)
+        assert _avg(warm_tree, 1, "R") == pytest.approx(32 / 4)
+        assert _avg(warm_tree, 1, "S") == pytest.approx(8 / 4)
+
+    def test_t1_arrival_of_4(self, warm_tree):
+        warm_tree.update(4)
+        # "L_0 gets the summary stored in S_0, 14/2, and S_0 gets 26/2 from
+        # R_0.  R_0 computes the average of 14 and 4."
+        assert _avg(warm_tree, 0, "L") == pytest.approx(14 / 2)
+        assert _avg(warm_tree, 0, "S") == pytest.approx(26 / 2)
+        assert _avg(warm_tree, 0, "R") == pytest.approx(18 / 2)
+
+    def test_t1_upper_levels_shift_by_one(self, warm_tree):
+        l2_before = warm_tree.node(2, "L").relative_segment(warm_tree.time)
+        warm_tree.update(4)
+        l2_after = warm_tree.node(2, "L").relative_segment(warm_tree.time)
+        # "L_2 now stores an approximation to [9-16] instead of [8-15]."
+        assert l2_after[0] == l2_before[0] + 1
+        assert l2_after[1] == l2_before[1] + 1
+
+    def test_t2_arrival_of_6(self, warm_tree):
+        warm_tree.extend([4, 6])
+        assert _avg(warm_tree, 0, "L") == pytest.approx(26 / 2)
+        assert _avg(warm_tree, 0, "S") == pytest.approx(18 / 2)
+        assert _avg(warm_tree, 0, "R") == pytest.approx(10 / 2)
+        # "L_1 gets 8/4 from S_1, and S_1 gets 32/4 from R_1.  Lastly, R_1
+        # computes and stores the average of R_0 and L_0, which is 36/4."
+        assert _avg(warm_tree, 1, "L") == pytest.approx(8 / 4)
+        assert _avg(warm_tree, 1, "S") == pytest.approx(32 / 4)
+        assert _avg(warm_tree, 1, "R") == pytest.approx(36 / 4)
+
+    def test_update_schedule_is_the_ruler_sequence(self, warm_tree):
+        """Level l refreshes exactly every 2^l arrivals."""
+        ends = {}
+        for step, value in enumerate(ARRIVALS, start=1):
+            warm_tree.update(value)
+            for level in range(warm_tree.n_levels):
+                node = warm_tree.node(level, "R")
+                expected_updates = step % (1 << level) == 0
+                key = (level,)
+                if expected_updates:
+                    assert node.end_time == warm_tree.time
+                ends[key] = node.end_time
+
+    def test_full_trace_node_averages_match_truth(self, warm_tree):
+        """After every arrival, every filled node averages its true segment."""
+        stream = list(INITIAL)
+        for value in ARRIVALS:
+            warm_tree.update(value)
+            stream.append(value)
+            for node in warm_tree.nodes():
+                first, last = node.absolute_segment()
+                segment = stream[first - 1 : last]  # absolute times are 1-based
+                assert node.average() == pytest.approx(np.mean(segment))
+
+
+class TestSection24QueryExample:
+    """The worked cover for Q = ([0,3,8,13], [10,8,4,1], 50) at Figure 2(d)."""
+
+    @pytest.fixture()
+    def tree_at_t3(self, warm_tree):
+        warm_tree.extend([4, 6, 2])
+        return warm_tree
+
+    def test_segment_assignments_match_paper(self, tree_at_t3):
+        now = tree_at_t3.time
+        segs = {
+            (n.role, n.level): n.relative_segment(now) for n in tree_at_t3.nodes()
+        }
+        assert segs[("R", 0)] == (0, 1)
+        assert segs[("S", 0)] == (1, 2)
+        assert segs[("L", 0)] == (2, 3)
+        assert segs[("L", 1)] == (5, 8)
+        assert segs[("S", 2)] == (7, 14)
+
+    def test_cover_set_is_R0_L0_L1_S2(self, tree_at_t3):
+        cover = tree_at_t3.cover([0, 3, 8, 13])
+        picked = {(n.role, n.level) for n in cover.nodes}
+        assert picked == {("R", 0), ("L", 0), ("L", 1), ("S", 2)}
+
+    def test_cover_assigns_each_index_to_the_paper_node(self, tree_at_t3):
+        cover = tree_at_t3.cover([0, 3, 8, 13])
+        by_node = {
+            (n.role, n.level): sorted(idx) for n, idx in cover.assignments.items()
+        }
+        assert by_node[("R", 0)] == [0]
+        assert by_node[("L", 0)] == [3]
+        assert by_node[("L", 1)] == [8]
+        assert by_node[("S", 2)] == [13]
+
+    def test_cover_size_bounded_by_tree_size(self, tree_at_t3):
+        cover = tree_at_t3.cover(list(range(16)))
+        assert len(cover.nodes) <= tree_at_t3.num_nodes
+
+    def test_num_nodes_is_3logN_minus_2(self, tree_at_t3):
+        assert tree_at_t3.num_nodes == 3 * 4 - 2  # N = 16

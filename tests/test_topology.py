@@ -1,0 +1,81 @@
+"""Tests for repro.network.topology."""
+
+import pytest
+
+from repro.network.topology import SOURCE, Topology
+
+
+class TestConstruction:
+    def test_single_client(self):
+        t = Topology.single_client()
+        assert t.root == SOURCE
+        assert t.clients == ["C1"]
+        assert t.depth("C1") == 1
+
+    def test_star(self):
+        t = Topology.star(5)
+        assert len(t.clients) == 5
+        assert all(t.parent(c) == SOURCE for c in t.clients)
+
+    def test_complete_binary_tree_shape(self):
+        t = Topology.complete_binary_tree(6)
+        assert t.parent("C1") == SOURCE
+        assert t.parent("C2") == SOURCE
+        assert t.parent("C3") == "C1"
+        assert t.parent("C4") == "C1"
+        assert t.parent("C5") == "C2"
+        assert t.parent("C6") == "C2"
+
+    def test_binary_tree_depths(self):
+        t = Topology.complete_binary_tree(14)
+        assert t.depth("C1") == 1
+        assert t.depth("C3") == 2
+        assert t.depth("C7") == 3
+
+    def test_paper_example(self):
+        t = Topology.paper_example()
+        assert t.parent("C3") == "C1"
+        assert set(t.children(SOURCE)) == {"C1", "C2"}
+
+    def test_zero_clients_rejected(self):
+        with pytest.raises(ValueError):
+            Topology.star(0)
+        with pytest.raises(ValueError):
+            Topology.complete_binary_tree(0)
+
+
+class TestValidation:
+    def test_two_roots_rejected(self):
+        with pytest.raises(ValueError):
+            Topology({"A": None, "B": None})
+
+    def test_no_root_rejected(self):
+        with pytest.raises(ValueError):
+            Topology({"A": "B", "B": "A"})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError):
+            Topology({"A": None, "B": "Z"})
+
+
+class TestNavigation:
+    def test_nodes_bfs_root_first(self):
+        t = Topology.complete_binary_tree(6)
+        nodes = t.nodes
+        assert nodes[0] == SOURCE
+        assert set(nodes) == {SOURCE, "C1", "C2", "C3", "C4", "C5", "C6"}
+
+    def test_path_to_root(self):
+        t = Topology.complete_binary_tree(6)
+        assert t.path_to_root("C5") == ["C5", "C2", SOURCE]
+
+    def test_contains_and_len(self):
+        t = Topology.star(3)
+        assert "C2" in t
+        assert "C9" not in t
+        assert len(t) == 4
+
+    def test_children(self):
+        t = Topology.paper_example()
+        assert set(t.children("C1")) == {"C3", "C4"}
+        assert t.children("C3") == []

@@ -1,0 +1,180 @@
+"""Tests for repro.wavelets.transform: periodized DWT/IDWT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wavelets.filters import available_wavelets
+from repro.wavelets.transform import (
+    dwt_step,
+    flatten_coeffs,
+    full_decompose,
+    idwt_step,
+    is_power_of_two,
+    reconstruct,
+    split_flat,
+    truncate,
+    wavedec,
+    waverec,
+)
+
+
+def _signals(min_log=2, max_log=7):
+    return st.integers(min_log, max_log).flatmap(
+        lambda m: st.lists(
+            st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False),
+            min_size=2**m,
+            max_size=2**m,
+        )
+    )
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 1024])
+    def test_powers(self, n):
+        assert is_power_of_two(n)
+
+    @pytest.mark.parametrize("n", [0, -2, 3, 6, 12, 1000])
+    def test_non_powers(self, n):
+        assert not is_power_of_two(n)
+
+
+class TestSingleStep:
+    def test_haar_step_values(self):
+        a, d = dwt_step([2.0, 4.0, 10.0, 2.0], "haar")
+        s2 = np.sqrt(2.0)
+        assert np.allclose(a, [(2 + 4) / s2, (10 + 2) / s2])
+        assert np.allclose(d, [(2 - 4) / s2, (10 - 2) / s2])
+
+    @pytest.mark.parametrize("name", available_wavelets())
+    def test_step_roundtrip(self, name):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=32)
+        a, d = dwt_step(x, name)
+        assert np.allclose(idwt_step(a, d, name), x)
+
+    @pytest.mark.parametrize("name", available_wavelets())
+    def test_step_preserves_energy(self, name):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=64)
+        a, d = dwt_step(x, name)
+        assert np.dot(a, a) + np.dot(d, d) == pytest.approx(np.dot(x, x))
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            dwt_step([1.0, 2.0, 3.0])
+
+    def test_mismatched_idwt_rejected(self):
+        with pytest.raises(ValueError):
+            idwt_step([1.0], [1.0, 2.0])
+
+    def test_constant_signal_has_zero_details(self):
+        a, d = dwt_step(np.full(16, 3.5), "haar")
+        assert np.allclose(d, 0.0)
+        assert np.allclose(a, 3.5 * np.sqrt(2.0))
+
+
+class TestMultilevel:
+    @given(_signals())
+    @settings(max_examples=40, deadline=None)
+    def test_haar_perfect_reconstruction(self, xs):
+        x = np.array(xs)
+        assert np.allclose(waverec(wavedec(x, "haar"), "haar"), x, atol=1e-6 * (1 + np.abs(x).max()))
+
+    @pytest.mark.parametrize("name", available_wavelets())
+    def test_perfect_reconstruction_all_bases(self, name):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-50, 50, size=128)
+        assert np.allclose(waverec(wavedec(x, name), name), x)
+
+    def test_partial_levels(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=64)
+        coeffs = wavedec(x, "haar", levels=3)
+        assert len(coeffs) == 4  # approx + 3 detail bands
+        assert coeffs[0].size == 8
+        assert np.allclose(waverec(coeffs, "haar"), x)
+
+    def test_zero_levels_is_identity(self):
+        x = np.arange(6.0)
+        coeffs = wavedec(x, "haar", levels=0)
+        assert len(coeffs) == 1
+        assert np.allclose(coeffs[0], x)
+
+    def test_full_decomposition_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            wavedec(np.arange(6.0), "haar")
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            wavedec(np.arange(8.0), "haar", levels=-1)
+
+    @given(_signals())
+    @settings(max_examples=30, deadline=None)
+    def test_energy_preservation(self, xs):
+        x = np.array(xs)
+        flat = full_decompose(x, "haar")
+        assert np.dot(flat, flat) == pytest.approx(np.dot(x, x), rel=1e-9, abs=1e-6)
+
+
+class TestFlatLayout:
+    def test_layout_sizes(self):
+        x = np.arange(16.0)
+        flat = full_decompose(x, "haar")
+        bands = split_flat(flat)
+        assert [b.size for b in bands] == [1, 1, 2, 4, 8]
+
+    def test_first_coefficient_is_scaled_mean(self):
+        x = np.arange(32.0)
+        flat = full_decompose(x, "haar")
+        assert flat[0] == pytest.approx(x.mean() * np.sqrt(32))
+
+    def test_flatten_then_split_roundtrip(self):
+        x = np.random.default_rng(5).normal(size=64)
+        coeffs = wavedec(x, "haar")
+        flat = flatten_coeffs(coeffs)
+        bands = split_flat(flat)
+        for a, b in zip(coeffs, bands):
+            assert np.allclose(np.atleast_1d(a), b)
+
+    def test_split_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            split_flat(np.arange(6.0))
+
+
+class TestTruncatedReconstruction:
+    def test_k1_reconstruction_is_mean(self):
+        x = np.array([1.0, 5.0, 3.0, 7.0, 2.0, 2.0, 4.0, 0.0])
+        flat = truncate(full_decompose(x, "haar"), 1)
+        rec = reconstruct(flat, 8, "haar")
+        assert np.allclose(rec, x.mean())
+
+    def test_full_coeffs_reconstruct_exactly(self):
+        x = np.random.default_rng(6).normal(size=32)
+        assert np.allclose(reconstruct(full_decompose(x, "haar"), 32, "haar"), x)
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 8, 16])
+    def test_error_decreases_with_k(self, k):
+        rng = np.random.default_rng(9)
+        x = rng.uniform(0, 100, size=64)
+        flat = full_decompose(x, "haar")
+        err_k = np.abs(reconstruct(truncate(flat, k), 64, "haar") - x).sum()
+        err_2k = np.abs(reconstruct(truncate(flat, min(2 * k, 64)), 64, "haar") - x).sum()
+        assert err_2k <= err_k + 1e-9
+
+    def test_truncate_validates_k(self):
+        with pytest.raises(ValueError):
+            truncate(np.arange(4.0), 0)
+
+    def test_reconstruct_validates_length(self):
+        with pytest.raises(ValueError):
+            reconstruct(np.arange(4.0), 6)
+
+    def test_reconstruction_preserves_segment_mean(self):
+        """Any k >= 1 keeps the approximation coefficient, hence the mean."""
+        rng = np.random.default_rng(10)
+        x = rng.uniform(0, 10, size=16)
+        for k in (1, 2, 5):
+            rec = reconstruct(truncate(full_decompose(x, "haar"), k), 16, "haar")
+            assert rec.mean() == pytest.approx(x.mean())

@@ -1,0 +1,97 @@
+"""Tests for repro.histogram.vopt: the exact V-optimal DP."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.histogram.vopt import Bucket, Histogram, sse_of_partition, vopt_histogram
+
+
+def brute_force_sse(values, n_buckets):
+    """Minimum SSE over all partitions into at most n_buckets buckets."""
+    n = len(values)
+    best = float("inf")
+    cuts_positions = range(1, n)
+    for k in range(0, min(n_buckets, n)):
+        for cuts in itertools.combinations(cuts_positions, k):
+            best = min(best, sse_of_partition(values, list(cuts)))
+    return best
+
+
+class TestVoptAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_small_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 9))
+        b = int(rng.integers(1, 4))
+        x = rng.uniform(0, 10, size=n)
+        hist = vopt_histogram(x, b)
+        assert hist.sse == pytest.approx(brute_force_sse(list(x), b), abs=1e-8)
+
+    def test_enough_buckets_means_zero_error(self):
+        x = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        hist = vopt_histogram(x, 5)
+        assert hist.sse == pytest.approx(0.0, abs=1e-10)
+
+    def test_one_bucket_is_global_mean(self):
+        x = np.array([1.0, 2.0, 3.0, 10.0])
+        hist = vopt_histogram(x, 1)
+        assert len(hist.buckets) == 1
+        assert hist.buckets[0].mean == pytest.approx(4.0)
+        assert hist.sse == pytest.approx(np.sum((x - 4.0) ** 2))
+
+    def test_obvious_two_cluster_split(self):
+        x = np.array([0.0, 0.0, 0.0, 100.0, 100.0, 100.0])
+        hist = vopt_histogram(x, 2)
+        assert hist.sse == pytest.approx(0.0, abs=1e-8)
+        assert {b.mean for b in hist.buckets} == {0.0, 100.0}
+
+    def test_buckets_partition_the_range(self):
+        rng = np.random.default_rng(42)
+        x = rng.uniform(0, 100, 40)
+        hist = vopt_histogram(x, 7)
+        assert hist.buckets[0].start == 0
+        assert hist.buckets[-1].end == 40
+        for a, b in zip(hist.buckets[:-1], hist.buckets[1:]):
+            assert a.end == b.start
+
+    def test_empty_input(self):
+        hist = vopt_histogram([], 3)
+        assert hist.buckets == []
+        assert hist.sse == 0.0
+
+
+class TestHistogramObject:
+    def test_value_at_and_dense_agree(self):
+        x = np.array([1.0, 1.0, 9.0, 9.0])
+        hist = vopt_histogram(x, 2)
+        dense = hist.dense()
+        for pos in range(4):
+            assert hist.value_at(pos) == dense[pos]
+
+    def test_value_at_out_of_range(self):
+        hist = vopt_histogram([1.0, 2.0], 1)
+        with pytest.raises(IndexError):
+            hist.value_at(5)
+
+    def test_bucket_width(self):
+        assert Bucket(2, 7, 0.0).width == 5
+
+    def test_n_buckets(self):
+        assert vopt_histogram(np.arange(10.0), 3).n_buckets <= 3
+
+
+class TestSseOfPartition:
+    def test_no_cuts(self):
+        x = [1.0, 3.0]
+        assert sse_of_partition(x, []) == pytest.approx(2.0)
+
+    def test_full_cuts_zero(self):
+        x = [5.0, 9.0, 2.0]
+        assert sse_of_partition(x, [1, 2]) == pytest.approx(0.0)
+
+    def test_unsorted_cuts_accepted(self):
+        x = [0.0, 0.0, 10.0, 10.0]
+        assert sse_of_partition(x, [2]) == sse_of_partition(x, [2])
+        assert sse_of_partition(x, [2]) == pytest.approx(0.0)
