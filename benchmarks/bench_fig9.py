@@ -6,6 +6,7 @@
     (paper: SWAT-ASR up to 5x better than APS, 4x better than DC).
 """
 
+from repro import obs
 from repro.experiments import fig9a_rate_sweep, fig9c_precision_sweep, format_table
 
 from .conftest import quick_mode
@@ -51,18 +52,29 @@ def test_fig9b_rate_sweep_synthetic(benchmark, report):
 
 
 def test_fig9c_precision_sweep_real(benchmark, report):
-    rows = benchmark.pedantic(
-        fig9c_precision_sweep,
-        kwargs=dict(data="real", measure_time=MEASURE),
-        rounds=1,
-        iterations=1,
-    )
+    # Run this sweep monitored: the obs registry gives a per-protocol
+    # message/latency breakdown alongside the figure's aggregate table.
+    obs.enable(obs.MetricsRegistry())
+    try:
+        rows = benchmark.pedantic(
+            fig9c_precision_sweep,
+            kwargs=dict(data="real", measure_time=MEASURE),
+            rounds=1,
+            iterations=1,
+        )
+        metrics_report = obs.render_text(
+            obs.metrics_snapshot(), title="fig9c instrumentation"
+        )
+    finally:
+        obs.disable()
     report(
         format_table(
             rows,
             "Figure 9(c): messages vs precision delta, T_q=1, T_d=2, real data\n"
             "(paper: SWAT-ASR up to 5x better than APS, 4x better than DC)",
         )
+        + "\n\n"
+        + metrics_report
     )
     for row in rows:
         assert row["SWAT-ASR"] <= row["APS"]

@@ -8,9 +8,20 @@ Public API highlights:
 * :class:`repro.HistogramSummary` — the Guha-Koudas histogram baseline;
 * :class:`repro.SwatAsr`, :class:`repro.DivergenceCaching`,
   :class:`repro.AdaptivePrecision` — the replication protocols of §3-4;
-* :mod:`repro.experiments` — one driver per paper figure.
+* :mod:`repro.experiments` — one driver per paper figure;
+* :mod:`repro.obs` — metrics registry, tracing, and exporters (off by
+  default; ``repro stats`` / ``--metrics-out`` on the CLI, or
+  ``repro.obs.enable()`` from code).
+
+Logging follows library convention: everything goes to the ``"repro"``
+logger hierarchy with a ``NullHandler`` attached, so the package is silent
+unless the application (or the CLI's ``-v/--verbose`` flag) installs a
+handler.
 """
 
+import logging as _logging
+
+from . import obs
 from .core import (
     ContinuousQueryEngine,
     GrowingSwat,
@@ -34,9 +45,12 @@ from .replication import (
     run_replication,
 )
 
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "Swat",
     "QueryAnswer",
     "GrowingSwat",

@@ -6,6 +6,12 @@ Usage::
     python -m repro fig4c                 # run one experiment, print its table
     python -m repro fig9c --quick         # scaled-down version
     python -m repro all --quick           # everything
+    python -m repro stats fig9c --quick   # run + print a metrics report
+    python -m repro fig6a --metrics-out m.json   # dump the registry as JSON
+
+``stats`` (and ``--metrics-out`` on any experiment) turns on
+:mod:`repro.obs` before the run; ``-v`` installs a stderr log handler on the
+``"repro"`` logger (``-vv`` for debug, e.g. ADR phase decisions).
 
 The heavy lifting lives in :mod:`repro.experiments`; this module only maps
 figure ids to drivers and formats the output.
@@ -14,11 +20,14 @@ figure ids to drivers and formats the output.
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from . import obs
 from .experiments import (
     fig4a_relative_error,
     fig4c_levels_sweep,
@@ -144,6 +153,22 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
 }
 
 
+def _install_verbose_logging(verbosity: int) -> None:
+    """Attach a stderr handler to the ``"repro"`` logger (-v INFO, -vv DEBUG)."""
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    logger = logging.getLogger("repro")
+    logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG if verbosity > 1 else logging.INFO)
+
+
+def _dump_metrics(path: Optional[str]) -> None:
+    if path is None:
+        return
+    obs.write_json(obs.get_registry(), path)
+    print(f"metrics written to {path}", file=sys.stderr)
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -151,7 +176,14 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', 'report', or 'list'",
+        help="experiment id (see 'list'), 'all', 'report', 'list', or "
+        "'stats <experiment>' for a run followed by a metrics report",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="experiment id to run (only with 'stats')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="scaled-down, much faster runs"
@@ -159,7 +191,52 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "-o", "--output", default=None, help="for 'report': write markdown here"
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="enable observability and dump the metrics registry as JSON "
+        "to FILE after the run",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log to stderr (-v info, -vv debug)",
+    )
     args = parser.parse_args(argv)
+
+    if args.verbose:
+        _install_verbose_logging(args.verbose)
+    if args.metrics_out is not None:
+        # Fail before the (possibly long) run, not after it.
+        if not args.metrics_out:
+            print("--metrics-out: empty path", file=sys.stderr)
+            return 2
+        parent = os.path.dirname(args.metrics_out) or "."
+        if not os.path.isdir(parent):
+            print(f"--metrics-out: directory {parent!r} does not exist", file=sys.stderr)
+            return 2
+    if args.metrics_out is not None or args.experiment == "stats":
+        obs.enable()
+
+    if args.target is not None and args.experiment != "stats":
+        print("a second argument is only valid with 'stats'", file=sys.stderr)
+        return 2
+
+    if args.experiment == "stats":
+        if args.target is None:
+            print("usage: repro stats <experiment> (see 'list')", file=sys.stderr)
+            return 2
+        if args.target not in EXPERIMENTS:
+            print(f"unknown experiment {args.target!r}; try 'list'", file=sys.stderr)
+            return 2
+        print(EXPERIMENTS[args.target](args.quick))
+        print()
+        print(obs.render_text(obs.metrics_snapshot(), title=f"metrics: {args.target}"))
+        _dump_metrics(args.metrics_out)
+        return 0
 
     if args.experiment == "report":
         from .experiments.report import generate_report
@@ -171,6 +248,7 @@ def main(argv: List[str] = None) -> int:
             print(f"report written to {args.output}")
         else:
             print(text)
+        _dump_metrics(args.metrics_out)
         return 0
 
     if args.experiment == "list":
@@ -178,16 +256,19 @@ def main(argv: List[str] = None) -> int:
         for name in EXPERIMENTS:
             print(f"  {name}")
         print("  all")
+        print("(prefix any id with 'stats' for a post-run metrics report)")
         return 0
     if args.experiment == "all":
         for name, fn in EXPERIMENTS.items():
             print(fn(args.quick))
             print()
+        _dump_metrics(args.metrics_out)
         return 0
     if args.experiment not in EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2
     print(EXPERIMENTS[args.experiment](args.quick))
+    _dump_metrics(args.metrics_out)
     return 0
 
 

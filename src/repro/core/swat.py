@@ -25,11 +25,13 @@ Usage::
 from __future__ import annotations
 
 import math
+import time
 from collections import deque
 from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
+from ..obs import metrics as obs
 from ..wavelets.haar import (
     combine_haar,
     haar_average,
@@ -218,6 +220,9 @@ class Swat:
 
     def update(self, value: float) -> None:
         """Ingest one stream value (the Update_Tree procedure of Figure 3(a))."""
+        # Instrumentation (repro.obs) is guarded so a metrics-off process
+        # pays only the module-attribute checks on this hot path.
+        _t0 = time.perf_counter() if obs.ENABLED else None
         value = float(value)
         if not math.isfinite(value):
             raise ValueError(f"stream values must be finite, got {value!r}")
@@ -234,6 +239,12 @@ class Swat:
             if fresh is not None:
                 coeffs, deviation, positions = fresh
                 lv[Role.RIGHT].set_contents(coeffs, t, deviation, positions)
+        if _t0 is not None:
+            obs.counter("swat.arrivals").inc()
+            shifted = max_level + 1 - self.min_level
+            if shifted > 0:
+                obs.counter("swat.levels_shifted").inc(shifted)
+            obs.histogram("swat.maintenance.latency").observe(time.perf_counter() - _t0)
 
     def extend(self, values: Iterable[float]) -> None:
         """Ingest many values in arrival order."""
@@ -370,11 +381,20 @@ class Swat:
         ``error_bound``; :meth:`can_answer` compares it to the query's
         precision requirement.
         """
+        _t0 = time.perf_counter() if obs.ENABLED else None
         est, nodes_used, n_extrapolated = self._estimate(list(query.indices))
         value = float(np.dot(np.asarray(query.weights, dtype=np.float64), est))
         bound = None
         if self.track_deviation:
             bound = self._certified_bound(query, n_extrapolated)
+        if _t0 is not None:
+            obs.counter("swat.queries").inc()
+            obs.histogram("swat.query.cover_size", buckets=obs.COUNT_BUCKETS).observe(
+                len(nodes_used)
+            )
+            if n_extrapolated:
+                obs.counter("swat.extrapolations").inc(n_extrapolated)
+            obs.histogram("swat.query.latency").observe(time.perf_counter() - _t0)
         return QueryAnswer(value, est, nodes_used, n_extrapolated, bound)
 
     def _certified_bound(self, query: InnerProductQuery, n_extrapolated: int) -> float:

@@ -37,12 +37,25 @@ class Stopwatch:
         self._start = None
         return delta
 
+    def reset(self) -> None:
+        """Zero the accumulated time and lap count (a running lap is discarded)."""
+        self.elapsed = 0.0
+        self.count = 0
+        self._start = None
+
     @property
     def mean(self) -> float:
         """Average duration per timed section."""
         if self.count == 0:
             raise ValueError("nothing timed yet")
         return self.elapsed / self.count
+
+    @property
+    def rate(self) -> float:
+        """Timed sections per second of accumulated time."""
+        if self.elapsed <= 0.0:
+            raise ValueError("nothing timed yet")
+        return self.count / self.elapsed
 
     def __enter__(self) -> "Stopwatch":
         self.start()

@@ -8,7 +8,9 @@ model).  Kinds are tracked separately so experiments can break totals down.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict
+from typing import Dict, Optional
+
+from ..obs import metrics as obs
 
 __all__ = ["MessageKind", "MessageStats"]
 
@@ -30,10 +32,20 @@ class MessageKind:
 
 
 class MessageStats:
-    """Per-kind hop counters."""
+    """Per-kind hop counters.
 
-    def __init__(self):
+    When observability is on (:mod:`repro.obs`), every recorded hop is
+    mirrored into the global registry as ``messages.<kind>`` — labelled
+    ``{protocol="..."}`` when the stats object belongs to a protocol.
+    :meth:`reset` rewinds exactly what this instance mirrored, so a
+    post-warm-up reset also clears this stats object's registry scope.
+    """
+
+    def __init__(self, protocol: Optional[str] = None):
+        self.protocol = protocol
+        self._labels = {"protocol": protocol} if protocol else {}
         self._counts: Counter = Counter()
+        self._mirrored: Counter = Counter()
 
     def record(self, kind: str, hops: int = 1) -> None:
         if kind not in MessageKind.ALL:
@@ -41,6 +53,9 @@ class MessageStats:
         if hops < 0:
             raise ValueError("hops must be non-negative")
         self._counts[kind] += hops
+        if obs.ENABLED and hops:
+            obs.counter(f"messages.{kind}", **self._labels).inc(hops)
+            self._mirrored[kind] += hops
 
     def count(self, kind: str) -> int:
         return self._counts[kind]
@@ -61,6 +76,13 @@ class MessageStats:
         return {kind: self._counts[kind] for kind in MessageKind.ALL}
 
     def reset(self) -> None:
+        """Zero the counters, rewinding any hops mirrored into the registry
+        (e.g. the replication harness resetting after warm-up)."""
+        if self._mirrored:
+            if obs.ENABLED:
+                for kind, hops in self._mirrored.items():
+                    obs.counter(f"messages.{kind}", **self._labels).inc(-hops)
+            self._mirrored.clear()
         self._counts.clear()
 
     def __repr__(self) -> str:

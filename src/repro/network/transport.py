@@ -13,8 +13,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from ..obs import metrics as obs
+from ..obs.trace import HopRecord, Tracer
 from ..simulate.events import Simulator
 from .messages import MessageKind, MessageStats
 from .topology import Topology
@@ -47,13 +49,22 @@ class Transport:
         still in FIFO event order).
     """
 
-    def __init__(self, sim: Simulator, topology: Topology, latency: float = 0.0):
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        latency: float = 0.0,
+        tracer: Optional[Tracer] = None,
+    ):
         if latency < 0:
             raise ValueError("latency must be non-negative")
         self.sim = sim
         self.topology = topology
         self.latency = latency
         self.stats = MessageStats()
+        #: Optional per-envelope trace sink (send + deliver hooks);
+        #: ``None`` keeps the hot path at one attribute check.
+        self.tracer: Optional[Tracer] = tracer
         self._handlers: Dict[str, Callable[[Envelope], None]] = {}
         self._ids = itertools.count(1)
         self._in_flight = 0
@@ -78,10 +89,23 @@ class Transport:
         self.stats.record(kind)
         env = Envelope(src, dst, kind, dict(payload or {}), self.sim.now)
         self._in_flight += 1
-        self.sim.schedule_after(self.latency, lambda: self._deliver(env))
+        if self.tracer is not None:
+            self.tracer.on_send(src, dst, kind, self.sim.now)
+        if obs.ENABLED:
+            obs.counter("transport.sent").inc()
+        self.sim.schedule_after(
+            self.latency, lambda: self._deliver(env), label=f"transport.deliver:{kind}"
+        )
 
     def _deliver(self, env: Envelope) -> None:
         self._in_flight -= 1
+        if self.tracer is not None:
+            self.tracer.on_deliver(
+                HopRecord(env.src, env.dst, env.kind, env.sent_at, self.sim.now)
+            )
+        if obs.ENABLED:
+            obs.counter("transport.delivered").inc()
+            obs.histogram("transport.hop_latency").observe(self.sim.now - env.sent_at)
         self._handlers[env.dst](env)
 
     @property

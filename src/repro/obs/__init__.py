@@ -1,0 +1,81 @@
+"""Observability: metrics registry, tracing hooks, and exporters.
+
+Three small modules:
+
+* :mod:`repro.obs.metrics` — process-local counters / gauges / histograms,
+  off by default, cheap enough to leave on (one dict lookup + add per event);
+* :mod:`repro.obs.trace` — structured spans for the event simulator and
+  per-hop records for the message transport, behind a ``tracer`` attribute
+  that defaults to ``None`` (one attribute check when disabled);
+* :mod:`repro.obs.export` — JSON and Prometheus-style serialization plus the
+  human-readable report behind ``repro stats``.
+
+Quick start::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # run anything: Swat streams, replication harness, experiments
+    print(obs.render_text(obs.metrics_snapshot()))
+    obs.write_json(obs.get_registry(), "metrics.json")
+
+Metric names and label conventions are documented in
+``docs/observability.md``.
+"""
+
+from .export import (
+    dumps,
+    from_json,
+    parse_prometheus,
+    render_text,
+    to_json,
+    to_prometheus,
+    write_json,
+)
+from .metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    disable,
+    enable,
+    gauge,
+    get_registry,
+    histogram,
+    metrics_snapshot,
+    set_registry,
+    snapshot_delta,
+)
+from .trace import EventSpan, HopRecord, RecordingTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "COUNT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "enable",
+    "disable",
+    "get_registry",
+    "set_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "metrics_snapshot",
+    "snapshot_delta",
+    "EventSpan",
+    "HopRecord",
+    "Tracer",
+    "RecordingTracer",
+    "to_json",
+    "from_json",
+    "dumps",
+    "write_json",
+    "to_prometheus",
+    "parse_prometheus",
+    "render_text",
+]

@@ -1,0 +1,226 @@
+"""Export the metrics registry: JSON, Prometheus-style text, and a
+human-readable report for ``repro stats``.
+
+Both serializations round-trip:
+
+* :func:`to_json` / :func:`from_json` — lossless (bucket layout, min/max);
+* :func:`to_prometheus` / :func:`parse_prometheus` — lossless for counter
+  and gauge values and histogram count/sum/buckets (Prometheus histograms
+  carry no min/max, so those come back as ``None``).
+
+Metric names are emitted verbatim (dotted); a real Prometheus scraper would
+want ``.`` mangled to ``_``, which is a one-liner on top of
+:func:`to_prometheus` — the dotted form keeps the text grep-able against
+``docs/observability.md`` and exactly invertible.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "to_json",
+    "dumps",
+    "from_json",
+    "write_json",
+    "to_prometheus",
+    "parse_prometheus",
+    "render_text",
+]
+
+SCHEMA_VERSION = 1
+
+
+# ------------------------------------------------------------------- JSON
+
+def to_json(registry: MetricsRegistry) -> dict:
+    """JSON-serializable dump of the registry (stable key order)."""
+    out = {"version": SCHEMA_VERSION}
+    out.update(registry.snapshot())
+    return out
+
+
+def dumps(registry: MetricsRegistry, indent: int = 2) -> str:
+    return json.dumps(to_json(registry), indent=indent, sort_keys=True)
+
+
+def write_json(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(dumps(registry) + "\n")
+
+
+_KEY_RE = re.compile(r'^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$')
+_LABEL_RE = re.compile(r'(?P<k>[^=,]+)="(?P<v>[^"]*)"')
+
+
+def _parse_key(key: str):
+    m = _KEY_RE.match(key)
+    name = m.group("name")
+    labels = {}
+    if m.group("labels"):
+        for lm in _LABEL_RE.finditer(m.group("labels")):
+            labels[lm.group("k")] = lm.group("v")
+    return name, labels
+
+
+def from_json(data: dict) -> MetricsRegistry:
+    """Rebuild a registry from :func:`to_json` output."""
+    registry = MetricsRegistry()
+    for key, value in data.get("counters", {}).items():
+        name, labels = _parse_key(key)
+        registry.counter(name, **labels).inc(value)
+    for key, value in data.get("gauges", {}).items():
+        name, labels = _parse_key(key)
+        registry.gauge(name, **labels).set(value)
+    for key, snap in data.get("histograms", {}).items():
+        name, labels = _parse_key(key)
+        bounds = [float(le) for le in snap["buckets"] if le != "+Inf"]
+        hist = registry.histogram(name, buckets=bounds, **labels)
+        hist.count = snap["count"]
+        hist.sum = snap["sum"]
+        hist.min = snap["min"]
+        hist.max = snap["max"]
+        for i, bound in enumerate(hist.bounds):
+            hist.bucket_counts[i] = snap["buckets"][f"{bound:g}"]
+        hist.bucket_counts[-1] = snap["buckets"]["+Inf"]
+    return registry
+
+
+# -------------------------------------------------------------- Prometheus
+
+def _prom_key(key: str, suffix: str = "", extra_label: Optional[str] = None) -> str:
+    """Append a suffix to the metric name and optionally one more label."""
+    name, labels = _parse_key(key)
+    items = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra_label:
+        items.append(extra_label)
+    rendered = "{" + ",".join(items) + "}" if items else ""
+    return f"{name}{suffix}{rendered}"
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join('{}="{}"'.format(k, v) for k, v in sorted(labels.items())) + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus-style exposition text (# TYPE comments plus samples)."""
+    snap = registry.snapshot()
+    lines = []
+    for key, value in snap["counters"].items():
+        lines.append(f"# TYPE {_parse_key(key)[0]} counter")
+        lines.append(f"{key} {value:g}")
+    for key, value in snap["gauges"].items():
+        lines.append(f"# TYPE {_parse_key(key)[0]} gauge")
+        lines.append(f"{key} {value:g}")
+    for key, hist in snap["histograms"].items():
+        lines.append(f"# TYPE {_parse_key(key)[0]} histogram")
+        cumulative = 0
+        for le, n in hist["buckets"].items():
+            cumulative += n
+            extra = 'le="{}"'.format(le)
+            lines.append(f"{_prom_key(key, '_bucket', extra)} {cumulative}")
+        lines.append(f"{_prom_key(key, '_sum')} {hist['sum']:g}")
+        lines.append(f"{_prom_key(key, '_count')} {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse :func:`to_prometheus` output back into snapshot form.
+
+    Histogram min/max are not representable in the exposition format and
+    come back as ``None``.
+    """
+    types: Dict[str, str] = {}
+    samples = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        key, value = line.rsplit(" ", 1)
+        samples.append((key, float(value)))
+
+    def _hist_base(name: str):
+        """(base, suffix) when ``name`` is a histogram component, else None."""
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                if types.get(base) == "histogram":
+                    return base, suffix
+        return None
+
+    out = {"counters": {}, "gauges": {}, "histograms": {}}
+    hist_parts: Dict[str, dict] = {}
+    for key, value in samples:
+        name, labels = _parse_key(key)
+        component = _hist_base(name)
+        if component is None:
+            kind = types.get(name, "gauge")
+            out[kind + "s"][key] = value
+            continue
+        base, suffix = component
+        le = labels.pop("le", None)
+        rendered = base + _render_labels(labels)
+        entry = hist_parts.setdefault(
+            rendered, {"count": 0, "sum": 0.0, "min": None, "max": None, "buckets": {}}
+        )
+        if suffix == "_sum":
+            entry["sum"] = value
+        elif suffix == "_count":
+            entry["count"] = int(value)
+        else:
+            entry["buckets"][le] = int(value)
+    for rendered, entry in hist_parts.items():
+        # De-cumulate the bucket counts back to per-bucket increments
+        # (insertion order follows the emitted ascending-``le`` order).
+        previous = 0
+        buckets = {}
+        for le, cumulative in entry["buckets"].items():
+            buckets[le] = int(cumulative) - previous
+            previous = int(cumulative)
+        entry["buckets"] = buckets
+        out["histograms"][rendered] = entry
+    return out
+
+
+# ------------------------------------------------------------- text report
+
+def render_text(snapshot: dict, title: str = "metrics") -> str:
+    """Human-readable dump for ``repro stats`` (see docs/observability.md)."""
+    lines = [f"== {title} =="]
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("-- counters --")
+        width = max(len(k) for k in counters)
+        for key in sorted(counters):
+            lines.append(f"  {key:<{width}}  {counters[key]:g}")
+    if gauges:
+        lines.append("-- gauges --")
+        width = max(len(k) for k in gauges)
+        for key in sorted(gauges):
+            lines.append(f"  {key:<{width}}  {gauges[key]:g}")
+    if histograms:
+        lines.append("-- histograms --")
+        width = max(len(k) for k in histograms)
+        for key in sorted(histograms):
+            h = histograms[key]
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            mx = h["max"] if h["max"] is not None else 0.0
+            lines.append(
+                f"  {key:<{width}}  count={h['count']} mean={mean:.3g} max={mx:.3g}"
+            )
+    if len(lines) == 1:
+        lines.append("  (no metrics recorded — is observability enabled?)")
+    return "\n".join(lines)

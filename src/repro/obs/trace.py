@@ -1,0 +1,107 @@
+"""Structured tracing for the event simulator and the message transport.
+
+Tracing is opt-in per object: :class:`repro.simulate.events.Simulator` and
+:class:`repro.network.transport.Transport` each carry a ``tracer`` attribute
+that defaults to ``None``, so the disabled cost on the hot path is a single
+attribute check (``if self.tracer is not None``).  :class:`Tracer` itself is
+the no-op base class — every hook does nothing — and
+:class:`RecordingTracer` keeps the records in memory for tests, dashboards,
+and post-mortems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["EventSpan", "HopRecord", "Tracer", "RecordingTracer"]
+
+
+@dataclass(frozen=True)
+class EventSpan:
+    """One executed simulator event.
+
+    ``scheduled_at`` is the virtual time the event was enqueued,
+    ``fired_at`` the virtual time it executed (its due timestamp), and
+    ``duration`` the wall-clock seconds its action took.  ``seq`` is the
+    simulator's FIFO tie-break counter: spans of simultaneous events carry
+    strictly increasing ``seq`` in scheduling order.
+    """
+
+    seq: int
+    label: str
+    scheduled_at: float
+    fired_at: float
+    duration: float
+
+    @property
+    def queue_delay(self) -> float:
+        """Virtual time the event waited in the queue."""
+        return self.fired_at - self.scheduled_at
+
+
+@dataclass(frozen=True)
+class HopRecord:
+    """One envelope delivered over one tree edge."""
+
+    src: str
+    dst: str
+    kind: str
+    sent_at: float
+    delivered_at: float
+
+    @property
+    def hop_latency(self) -> float:
+        """Virtual seconds the envelope spent in flight."""
+        return self.delivered_at - self.sent_at
+
+
+class Tracer:
+    """No-op tracer: subclass and override the hooks you care about."""
+
+    def on_event_span(self, span: EventSpan) -> None:
+        """An event finished executing on the simulator."""
+
+    def on_send(self, src: str, dst: str, kind: str, sent_at: float) -> None:
+        """An envelope was handed to the transport."""
+
+    def on_deliver(self, record: HopRecord) -> None:
+        """An envelope reached its destination handler."""
+
+
+class RecordingTracer(Tracer):
+    """Keeps every span/hop in memory (optionally capped at ``max_records``
+    per stream, dropping the oldest — enough for rolling dashboards)."""
+
+    def __init__(self, max_records: Optional[int] = None):
+        if max_records is not None and max_records <= 0:
+            raise ValueError("max_records must be positive")
+        self.max_records = max_records
+        self.spans: List[EventSpan] = []
+        self.sends: List[tuple] = []
+        self.deliveries: List[HopRecord] = []
+
+    def _push(self, records: list, item) -> None:
+        records.append(item)
+        if self.max_records is not None and len(records) > self.max_records:
+            del records[0]
+
+    def on_event_span(self, span: EventSpan) -> None:
+        self._push(self.spans, span)
+
+    def on_send(self, src: str, dst: str, kind: str, sent_at: float) -> None:
+        self._push(self.sends, (src, dst, kind, sent_at))
+
+    def on_deliver(self, record: HopRecord) -> None:
+        self._push(self.deliveries, record)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.sends.clear()
+        self.deliveries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordingTracer(spans={len(self.spans)}, sends={len(self.sends)}, "
+            f"deliveries={len(self.deliveries)})"
+        )

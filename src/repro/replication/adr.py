@@ -17,11 +17,14 @@ travels to ``R`` and then floods every edge of ``R``'s subtree.
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List, Optional, Set
 
 from ..network.topology import Topology
 
 __all__ = ["AdrObject"]
+
+logger = logging.getLogger("repro.replication.adr")
 
 
 class _NodeCounters:
@@ -192,6 +195,10 @@ class AdrObject:
                 reads_from_v = counters.reads.get(v, 0)
                 writes_other = counters.writes_except(v)
                 if reads_from_v > writes_other:
+                    logger.debug(
+                        "ADR expansion: %s joins R via %s (reads=%d > other writes=%d)",
+                        v, node, reads_from_v, writes_other,
+                    )
                     joins.add(v)
         self.replicas |= joins
         # Contraction (not for nodes that just joined).
@@ -204,6 +211,10 @@ class AdrObject:
             r_neigh = [v for v in self._neighbours(node) if v in self.replicas and v not in exits]
             remote_writes = sum(counters.writes.get(v, 0) for v in r_neigh)
             if served_reads < remote_writes and len(self.replicas - exits) > 1:
+                logger.debug(
+                    "ADR contraction: %s leaves R (served reads=%d < remote writes=%d)",
+                    node, served_reads, remote_writes,
+                )
                 exits.add(node)
         self.replicas -= exits
         # Switch (singleton only).
@@ -219,6 +230,11 @@ class AdrObject:
                     - traffic_v
                 )
                 if counters.writes.get(v, 0) > other:
+                    logger.debug(
+                        "ADR switch: singleton %s hands the object to %s "
+                        "(writes=%d > other traffic=%d)",
+                        node, v, counters.writes.get(v, 0), other,
+                    )
                     self.replicas = {v}
                     self.messages += 1  # ship the object to v
                     break

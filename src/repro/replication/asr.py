@@ -21,6 +21,7 @@ one descends the tree, exactly as in the Section 3 walk-through.
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List, Optional, Tuple
 
 from ..core.coverage import CoverageError
@@ -32,6 +33,8 @@ from ..network.topology import Topology
 from .base import ReplicationProtocol
 
 __all__ = ["SwatAsr"]
+
+logger = logging.getLogger("repro.replication.asr")
 
 
 class SwatAsr(ReplicationProtocol):
@@ -55,24 +58,25 @@ class SwatAsr(ReplicationProtocol):
         site which maintains summary of the stream" — instead of exact
         min/max over the raw window.  Summary ranges are certified supersets
         (average ± max deviation), so answers stay within precision; they are
-        somewhat wider, costing extra forwarding (quantified in tests)."""
+        somewhat wider, costing extra forwarding (quantified in tests).
+
+        The source maintains its SWAT either way (the paper's central site
+        does by definition, and it feeds the ``swat.*`` metrics of
+        :mod:`repro.obs`); only range derivation depends on the flag."""
         super().__init__(topology, window_size)
         self.sites: Dict[str, Directory] = {
             node: Directory(window_size) for node in topology.nodes
         }
         self._segments = self.sites[topology.root].segments
         self.use_summary_ranges = bool(use_summary_ranges)
-        self._summary = (
-            Swat(window_size, track_deviation=True) if use_summary_ranges else None
-        )
+        self._summary = Swat(window_size, track_deviation=use_summary_ranges)
 
     # ------------------------------------------------------------- data path
 
     def on_data(self, value: float, now: float = 0.0) -> None:
         # The source's summary tree sees every arrival from the start, so it
         # is warm by the time the window fills and propagation begins.
-        if self._summary is not None:
-            self._summary.update(float(value))
+        self._summary.update(float(value))
         super().on_data(value, now)
 
     def _propagate(self, value: float, now: float) -> None:
@@ -82,7 +86,7 @@ class SwatAsr(ReplicationProtocol):
             self._apply_update(self.topology.root, seg, rng)
 
     def _segment_range(self, seg: Segment) -> Tuple[float, float]:
-        if self._summary is None:
+        if not self.use_summary_ranges:
             return self.window.segment_range(seg.newest, seg.oldest)
         # Range from the summary alone: for each node covering part of the
         # segment, [avg - deviation, avg + deviation] encloses its true
@@ -193,6 +197,11 @@ class SwatAsr(ReplicationProtocol):
                 row = directory.row(seg)
                 if row.is_cached and not row.subscribed:  # R-fringe for seg
                     if row.local_reads < row.write_count:
+                        logger.debug(
+                            "phase end t=%g: %s contracts segment %s "
+                            "(reads=%d < writes=%d)",
+                            now, node, seg, row.local_reads, row.write_count,
+                        )
                         row.approx = None
                         self.stats.record(MessageKind.UNSUBSCRIBE)
                         parent_row = self.sites[self.topology.parent(node)].row(seg)
@@ -213,6 +222,12 @@ class SwatAsr(ReplicationProtocol):
                 for v in list(row.interested):
                     row.interested.discard(v)
                     if row.write_count < row.read_counts.get(v, 0):
+                        logger.debug(
+                            "phase end t=%g: scheme for segment %s expands "
+                            "%s -> %s (reads=%d > writes=%d)",
+                            now, seg, node, v,
+                            row.read_counts.get(v, 0), row.write_count,
+                        )
                         row.subscribed.add(v)
                         self.stats.record(MessageKind.INSERT)
                         self.sites[v].row(seg).approx = row.approx

@@ -58,7 +58,9 @@ class ReplicationProtocol(abc.ABC):
     def __init__(self, topology: Topology, window_size: int):
         self.topology = topology
         self.window_size = window_size
-        self.stats = MessageStats()
+        # Registry mirror is labelled with the protocol's figure-legend name,
+        # giving per-protocol ``messages.*{protocol=...}`` counters.
+        self.stats = MessageStats(protocol=self.name)
         self.window = GroundTruthWindow(window_size)
         # Round-trip hops of the most recent query (0 = served from cache);
         # the harness turns this into a latency figure.

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..data.workload import RandomWorkload
 from ..network.topology import Topology
+from ..obs import metrics as obs
 from ..simulate.events import Simulator
 from ..simulate.tasks import PeriodicTask
 from .aps import AdaptivePrecision
@@ -69,7 +70,9 @@ class ReplicationResult:
     mean_abs_error: float
     approximations: int
     mean_query_hops: float = 0.0
-    meta: Dict[str, float] = field(default_factory=dict)
+    # Free-form extras; with observability on, ``meta["metrics"]`` holds the
+    # run's measurement-phase registry snapshot (see repro.obs).
+    meta: Dict[str, object] = field(default_factory=dict)
 
     @property
     def messages_per_query(self) -> float:
@@ -110,7 +113,21 @@ def run_replication(
         raise ValueError("stream must be non-empty")
     sim = Simulator()
     topo = protocol.topology
-    state = {"queries": 0, "arrivals": 0, "err_sum": 0.0, "hops_sum": 0}
+    state = {"queries": 0, "arrivals": 0, "err_sum": 0.0, "hops_sum": 0,
+             "measuring": False}
+
+    # Run-scoped metrics (created up front so even a query-free run exports
+    # the series); observed only during the measurement phase so warm-up
+    # traffic never leaks into reported numbers.
+    obs_on = obs.ENABLED
+    latency_hist = (
+        obs.histogram("query.latency", protocol=protocol.name) if obs_on else None
+    )
+    hops_hist = (
+        obs.histogram("query.hops", buckets=obs.COUNT_BUCKETS, protocol=protocol.name)
+        if obs_on
+        else None
+    )
 
     def on_data(tick: int) -> None:
         protocol.on_data(float(stream[tick % stream.size]), now=sim.now)
@@ -133,7 +150,12 @@ def run_replication(
             if not protocol.is_warm:
                 return
             query = workloads[client].next()
-            answer = protocol.on_query(client, query, now=sim.now)
+            if latency_hist is not None and state["measuring"]:
+                with latency_hist.time():
+                    answer = protocol.on_query(client, query, now=sim.now)
+                hops_hist.observe(protocol.last_query_hops)
+            else:
+                answer = protocol.on_query(client, query, now=sim.now)
             truth = query.evaluate(protocol.window.values_newest_first())
             state["queries"] += 1
             state["err_sum"] += abs(answer - truth)
@@ -152,13 +174,23 @@ def run_replication(
         start_at=fill_time,
     )
 
-    # Warm up, then reset counters and measure.
+    # Warm up, then reset counters and measure.  ``MessageStats.reset``
+    # also rewinds the warm-up hops it mirrored into the metrics registry,
+    # so the registry scope starts the measurement phase clean too.
     sim.run_until(fill_time + config.warmup_time)
     protocol.stats.reset()
     state["queries"] = 0
     state["err_sum"] = 0.0
     state["hops_sum"] = 0
+    state["measuring"] = True
+    baseline = obs.metrics_snapshot() if obs_on else None
     sim.run_until(fill_time + config.warmup_time + config.measure_time)
+
+    meta: Dict[str, object] = {}
+    if obs_on:
+        # Everything the registry accrued during measurement only (warm-up
+        # arrivals/messages excluded by construction).
+        meta["metrics"] = obs.snapshot_delta(obs.metrics_snapshot(), baseline)
 
     n_queries = state["queries"]
     return ReplicationResult(
@@ -170,4 +202,5 @@ def run_replication(
         mean_abs_error=state["err_sum"] / max(n_queries, 1),
         approximations=protocol.approximation_count(),
         mean_query_hops=state["hops_sum"] / max(n_queries, 1),
+        meta=meta,
     )

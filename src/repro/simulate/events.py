@@ -6,17 +6,30 @@ with a single data stream" (Section 2.7) with periodic data arrivals (period
 — phase boundaries.  This simulator provides exactly that: a virtual clock, a
 priority queue of timestamped callbacks, and deterministic FIFO ordering for
 simultaneous events.
+
+Tracing: set :attr:`Simulator.tracer` to a :class:`repro.obs.trace.Tracer`
+to receive an :class:`~repro.obs.trace.EventSpan` per executed event
+(scheduled-at, fired-at, action label, wall-clock duration).  The default is
+``None``, so a non-traced run pays one attribute check per event.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Callable, Optional
+
+from ..obs.trace import EventSpan, Tracer
 
 __all__ = ["Simulator"]
 
 Action = Callable[[], None]
+
+
+def _label_of(action: Action) -> str:
+    """Best-effort action label for traces (qualified name where available)."""
+    return getattr(action, "__qualname__", None) or repr(action)
 
 
 class Simulator:
@@ -26,11 +39,13 @@ class Simulator:
     keeps runs reproducible.  Time is a float in seconds of virtual time.
     """
 
-    def __init__(self):
+    def __init__(self, tracer: Optional[Tracer] = None):
         self._now = 0.0
         self._queue: list = []
         self._counter = itertools.count()
         self._events_run = 0
+        #: Optional structured-trace sink; ``None`` disables tracing.
+        self.tracer: Optional[Tracer] = tracer
 
     @property
     def now(self) -> float:
@@ -42,26 +57,49 @@ class Simulator:
         """Number of events executed so far."""
         return self._events_run
 
-    def schedule_at(self, when: float, action: Action) -> None:
-        """Schedule ``action`` at absolute virtual time ``when``."""
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def schedule_at(self, when: float, action: Action, label: Optional[str] = None) -> None:
+        """Schedule ``action`` at absolute virtual time ``when``.
+
+        ``label`` names the event in trace spans; it defaults to the
+        action's qualified name.
+        """
         if when < self._now:
             raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
-        heapq.heappush(self._queue, (when, next(self._counter), action))
+        heapq.heappush(self._queue, (when, next(self._counter), action, label, self._now))
 
-    def schedule_after(self, delay: float, action: Action) -> None:
+    def schedule_after(self, delay: float, action: Action, label: Optional[str] = None) -> None:
         """Schedule ``action`` after ``delay`` units of virtual time."""
         if delay < 0:
             raise ValueError("delay must be non-negative")
-        self.schedule_at(self._now + delay, action)
+        self.schedule_at(self._now + delay, action, label)
 
     def step(self) -> bool:
         """Execute the next event; return False if the queue is empty."""
         if not self._queue:
             return False
-        when, __, action = heapq.heappop(self._queue)
+        when, seq, action, label, scheduled_at = heapq.heappop(self._queue)
         self._now = when
         self._events_run += 1
-        action()
+        tracer = self.tracer
+        if tracer is None:
+            action()
+        else:
+            start = time.perf_counter()
+            action()
+            tracer.on_event_span(
+                EventSpan(
+                    seq=seq,
+                    label=label or _label_of(action),
+                    scheduled_at=scheduled_at,
+                    fired_at=when,
+                    duration=time.perf_counter() - start,
+                )
+            )
         return True
 
     def run_until(self, deadline: float) -> None:

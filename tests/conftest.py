@@ -1,0 +1,31 @@
+"""Shared fixtures.
+
+Observability (:mod:`repro.obs`) is process-global state; every test that
+turns it on goes through ``obs_registry`` so the global switch and registry
+are restored afterwards and tests stay order-independent.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture()
+def obs_registry():
+    """Enable metrics into a fresh registry; restore globals on teardown."""
+    registry = obs.MetricsRegistry()
+    previous = obs.set_registry(registry)
+    obs.enable()
+    yield registry
+    obs.disable()
+    obs.set_registry(previous)
+
+
+@pytest.fixture()
+def obs_disabled_guard():
+    """Assert-and-restore guard for tests relying on metrics being off."""
+    from repro.obs import metrics as obs_metrics
+
+    assert obs_metrics.ENABLED is False
+    yield
+    obs_metrics.ENABLED = False

@@ -1,6 +1,24 @@
 """Tests for the command-line interface."""
 
+import json
+import logging
+
+import pytest
+
+from repro import obs
 from repro.cli import EXPERIMENTS, main
+
+
+@pytest.fixture()
+def restore_obs():
+    """CLI runs may enable observability globally; restore it afterwards."""
+    from repro.obs import metrics as obs_metrics
+
+    previous_registry = obs.set_registry(obs.MetricsRegistry())
+    previous_enabled = obs_metrics.ENABLED
+    yield
+    obs_metrics.ENABLED = previous_enabled
+    obs.set_registry(previous_registry)
 
 
 class TestCli:
@@ -34,6 +52,57 @@ class TestCli:
 
     def test_module_entry_point_importable(self):
         import repro.__main__  # noqa: F401
+
+
+class TestStats:
+    def test_stats_without_target_errors(self, capsys, restore_obs):
+        assert main(["stats"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_stats_unknown_target_errors(self, capsys, restore_obs):
+        assert main(["stats", "warp-drive"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_target_without_stats_errors(self, capsys, restore_obs):
+        assert main(["fig4c", "fig4a"]) == 2
+        assert "only valid with 'stats'" in capsys.readouterr().err
+
+    def test_metrics_out_empty_path_errors(self, capsys, restore_obs):
+        assert main(["fig4c", "--quick", "--metrics-out", ""]) == 2
+        assert "empty path" in capsys.readouterr().err
+
+    def test_metrics_out_missing_directory_fails_fast(self, capsys, restore_obs):
+        assert main(["fig4c", "--quick", "--metrics-out", "/nonexistent-xyz/m.json"]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+
+    def test_stats_runs_and_reports(self, capsys, restore_obs):
+        assert main(["stats", "fig4c", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(c)" in out
+        assert "== metrics: fig4c ==" in out
+        assert "swat.arrivals" in out
+
+    def test_metrics_out_writes_json_dump(self, tmp_path, capsys, restore_obs):
+        path = tmp_path / "m.json"
+        assert main(["fig4c", "--quick", "--metrics-out", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["counters"]["swat.arrivals"] > 0
+        assert data["histograms"]["swat.maintenance.latency"]["count"] > 0
+
+    def test_verbose_flag_installs_stderr_handler(self, restore_obs):
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        try:
+            assert main(["list", "-vv"]) == 0
+            added = [h for h in logger.handlers if h not in before]
+            assert len(added) == 1
+            assert logger.level == logging.DEBUG
+        finally:
+            for h in logger.handlers[:]:
+                if h not in before:
+                    logger.removeHandler(h)
+            logger.setLevel(logging.NOTSET)
 
 
 class TestReport:

@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "multi_stream_correlation",
     "whole_stream_history",
     "certified_monitoring",
+    "metrics_dashboard",
 ]
 
 

@@ -114,6 +114,28 @@ class TestStopwatch:
         with pytest.raises(ValueError):
             __ = Stopwatch().mean
 
+    def test_reset_zeroes_and_discards_running_lap(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.001)
+        sw.start()
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert sw.count == 0
+        sw.start()  # not "already running" after a mid-lap reset
+        sw.stop()
+        assert sw.count == 1
+
+    def test_rate_is_laps_per_second(self):
+        sw = Stopwatch()
+        sw.elapsed = 2.0
+        sw.count = 10
+        assert sw.rate == pytest.approx(5.0)
+
+    def test_rate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            __ = Stopwatch().rate
+
     def test_time_call(self):
         result, seconds = time_call(sum, [1, 2, 3])
         assert result == 6

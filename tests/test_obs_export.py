@@ -1,0 +1,88 @@
+"""Round-trip tests for the JSON and Prometheus exporters (repro.obs.export)."""
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+def _populated_registry() -> obs.MetricsRegistry:
+    reg = obs.MetricsRegistry()
+    reg.counter("swat.arrivals").inc(100)
+    reg.counter("messages.query", protocol="SWAT-ASR").inc(7)
+    reg.counter("messages.query", protocol="DC").inc(11)
+    reg.gauge("transport.in_flight").set(3)
+    h = reg.histogram("query.latency", buckets=(0.001, 0.01, 0.1), protocol="DC")
+    for v in (0.0005, 0.005, 0.5):
+        h.observe(v)
+    return reg
+
+
+class TestJson:
+    def test_round_trip_is_lossless(self):
+        reg = _populated_registry()
+        data = json.loads(json.dumps(obs.to_json(reg)))  # through real JSON
+        rebuilt = obs.from_json(data)
+        assert rebuilt.snapshot() == reg.snapshot()
+
+    def test_dump_carries_schema_version(self):
+        assert obs.to_json(obs.MetricsRegistry())["version"] == 1
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "m.json"
+        obs.write_json(_populated_registry(), str(path))
+        data = json.loads(path.read_text())
+        assert data["counters"]["swat.arrivals"] == 100
+
+    def test_dumps_is_deterministic(self):
+        assert obs.dumps(_populated_registry()) == obs.dumps(_populated_registry())
+
+
+class TestPrometheus:
+    def test_counters_and_gauges_round_trip(self):
+        reg = _populated_registry()
+        parsed = obs.parse_prometheus(obs.to_prometheus(reg))
+        snap = reg.snapshot()
+        assert parsed["counters"] == snap["counters"]
+        assert parsed["gauges"] == snap["gauges"]
+
+    def test_histograms_round_trip_counts_sums_buckets(self):
+        reg = _populated_registry()
+        parsed = obs.parse_prometheus(obs.to_prometheus(reg))
+        snap = reg.snapshot()
+        assert set(parsed["histograms"]) == set(snap["histograms"])
+        for key, expected in snap["histograms"].items():
+            got = parsed["histograms"][key]
+            assert got["count"] == expected["count"]
+            assert got["sum"] == pytest.approx(expected["sum"], rel=1e-4)
+            assert got["buckets"] == expected["buckets"]
+            assert got["min"] is None and got["max"] is None  # not representable
+
+    def test_bucket_lines_are_cumulative(self):
+        text = obs.to_prometheus(_populated_registry())
+        bucket_counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("query.latency_bucket")
+        ]
+        assert bucket_counts == sorted(bucket_counts)
+        assert bucket_counts[-1] == 3  # +Inf bucket equals total count
+
+    def test_type_comments_present(self):
+        text = obs.to_prometheus(_populated_registry())
+        assert "# TYPE swat.arrivals counter" in text
+        assert "# TYPE transport.in_flight gauge" in text
+        assert "# TYPE query.latency histogram" in text
+
+
+class TestRenderText:
+    def test_sections_and_values(self):
+        text = obs.render_text(_populated_registry().snapshot(), title="t")
+        assert "== t ==" in text
+        assert "swat.arrivals" in text and "100" in text
+        assert "query.latency" in text and "count=3" in text
+
+    def test_empty_snapshot_hints_at_enablement(self):
+        text = obs.render_text(obs.MetricsRegistry().snapshot())
+        assert "no metrics recorded" in text

@@ -1,0 +1,112 @@
+"""Tracing tests: simulator event spans and transport hop records."""
+
+import pytest
+
+from repro.network.topology import Topology
+from repro.network.transport import Transport
+from repro.obs.trace import RecordingTracer, Tracer
+from repro.simulate.events import Simulator
+
+
+class TestSimulatorSpans:
+    def test_default_is_untraced(self):
+        assert Simulator().tracer is None
+
+    def test_simultaneous_events_preserve_fifo_order(self):
+        sim = Simulator()
+        tracer = RecordingTracer()
+        sim.tracer = tracer
+        fired = []
+        for i in range(5):
+            sim.schedule_at(1.0, lambda i=i: fired.append(i), label=f"ev{i}")
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+        assert [s.label for s in tracer.spans] == [f"ev{i}" for i in range(5)]
+        seqs = [s.seq for s in tracer.spans]
+        assert seqs == sorted(seqs)
+        assert all(s.fired_at == 1.0 for s in tracer.spans)
+
+    def test_span_fields(self):
+        sim = Simulator()
+        tracer = RecordingTracer()
+        sim.tracer = tracer
+        sim.schedule_at(2.0, lambda: None)  # moves the clock to 2.0 first
+        sim.run_until(2.0)
+        sim.schedule_after(3.0, lambda: None, label="later")
+        sim.run()
+        span = tracer.spans[-1]
+        assert span.label == "later"
+        assert span.scheduled_at == 2.0
+        assert span.fired_at == 5.0
+        assert span.queue_delay == pytest.approx(3.0)
+        assert span.duration >= 0.0
+
+    def test_default_label_is_action_name(self):
+        sim = Simulator()
+        tracer = RecordingTracer()
+        sim.tracer = tracer
+
+        def tick():
+            pass
+
+        sim.schedule_at(0.0, tick)
+        sim.run()
+        assert "tick" in tracer.spans[0].label
+
+    def test_null_tracer_hooks_are_noops(self):
+        # The base class must accept every hook silently (no-op default).
+        t = Tracer()
+        t.on_event_span(None)
+        t.on_send("a", "b", "query", 0.0)
+        t.on_deliver(None)
+
+
+class TestTransportTracing:
+    def _system(self, latency):
+        sim = Simulator()
+        topo = Topology.single_client()
+        transport = Transport(sim, topo, latency=latency)
+        received = []
+        for node in topo.nodes:
+            transport.register(node, received.append)
+        return sim, topo, transport, received
+
+    def test_default_is_untraced(self):
+        __, __, transport, __ = self._system(0.0)
+        assert transport.tracer is None
+
+    def test_hop_records_carry_latency(self):
+        sim, topo, transport, received = self._system(0.25)
+        tracer = RecordingTracer()
+        transport.tracer = tracer
+        client = topo.clients[0]
+        transport.send(client, topo.root, "query", {"qid": 1})
+        transport.drain()
+        assert len(received) == 1
+        assert tracer.sends == [(client, topo.root, "query", 0.0)]
+        (record,) = tracer.deliveries
+        assert record.src == client and record.dst == topo.root
+        assert record.hop_latency == pytest.approx(0.25)
+
+    def test_hop_latency_histogram_matches_configured_latency(self, obs_registry):
+        sim, topo, transport, __ = self._system(0.1)
+        client = topo.clients[0]
+        for __ in range(8):
+            transport.send(client, topo.root, "query")
+            transport.drain()
+        hist = obs_registry.histogram("transport.hop_latency")
+        assert hist.count == 8
+        assert hist.min == pytest.approx(0.1)
+        assert hist.max == pytest.approx(0.1)
+        assert hist.sum == pytest.approx(0.8)
+        assert obs_registry.counter("transport.sent").value == 8
+        assert obs_registry.counter("transport.delivered").value == 8
+
+    def test_recording_tracer_caps_records(self):
+        tracer = RecordingTracer(max_records=2)
+        for i in range(5):
+            tracer.on_send("a", "b", "query", float(i))
+        assert len(tracer.sends) == 2
+        assert tracer.sends[0][3] == 3.0  # oldest dropped
+        with pytest.raises(ValueError):
+            RecordingTracer(max_records=0)
