@@ -8,6 +8,7 @@ Usage::
     python -m repro all --quick           # everything
     python -m repro stats fig9c --quick   # run + print a metrics report
     python -m repro fig6a --metrics-out m.json   # dump the registry as JSON
+    python -m repro check src             # repo-specific AST lint (REP001-005)
 
 ``stats`` (and ``--metrics-out`` on any experiment) turns on
 :mod:`repro.obs` before the run; ``-v`` installs a stderr log handler on the
@@ -29,6 +30,8 @@ import numpy as np
 
 from . import obs
 from .experiments import (
+    fig10a_client_sweep,
+    fig10b_precision_sweep_multi,
     fig4a_relative_error,
     fig4c_levels_sweep,
     fig5_error_comparison,
@@ -36,8 +39,6 @@ from .experiments import (
     fig6b_response_time,
     fig9a_rate_sweep,
     fig9c_precision_sweep,
-    fig10a_client_sweep,
-    fig10b_precision_sweep_multi,
     format_table,
     space_complexity,
 )
@@ -169,21 +170,22 @@ def _dump_metrics(path: Optional[str]) -> None:
     print(f"metrics written to {path}", file=sys.stderr)
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the SWAT paper's tables and figures.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', 'report', 'list', or "
-        "'stats <experiment>' for a run followed by a metrics report",
+        help="experiment id (see 'list'), 'all', 'report', 'list', "
+        "'stats <experiment>' for a run followed by a metrics report, or "
+        "'check [paths...]' for the repo-specific AST linter",
     )
     parser.add_argument(
         "target",
-        nargs="?",
-        default=None,
-        help="experiment id to run (only with 'stats')",
+        nargs="*",
+        default=[],
+        help="experiment id (with 'stats') or paths to lint (with 'check')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="scaled-down, much faster runs"
@@ -221,20 +223,26 @@ def main(argv: List[str] = None) -> int:
     if args.metrics_out is not None or args.experiment == "stats":
         obs.enable()
 
-    if args.target is not None and args.experiment != "stats":
-        print("a second argument is only valid with 'stats'", file=sys.stderr)
+    if args.target and args.experiment not in ("stats", "check"):
+        print("extra arguments are only valid with 'stats' or 'check'", file=sys.stderr)
         return 2
 
+    if args.experiment == "check":
+        from .devtools.lint import main as lint_main
+
+        return lint_main(args.target or ["src"])
+
     if args.experiment == "stats":
-        if args.target is None:
+        if len(args.target) != 1:
             print("usage: repro stats <experiment> (see 'list')", file=sys.stderr)
             return 2
-        if args.target not in EXPERIMENTS:
-            print(f"unknown experiment {args.target!r}; try 'list'", file=sys.stderr)
+        target = args.target[0]
+        if target not in EXPERIMENTS:
+            print(f"unknown experiment {target!r}; try 'list'", file=sys.stderr)
             return 2
-        print(EXPERIMENTS[args.target](args.quick))
+        print(EXPERIMENTS[target](args.quick))
         print()
-        print(obs.render_text(obs.metrics_snapshot(), title=f"metrics: {args.target}"))
+        print(obs.render_text(obs.metrics_snapshot(), title=f"metrics: {target}"))
         _dump_metrics(args.metrics_out)
         return 0
 

@@ -2,8 +2,6 @@
 
 from .continuous import ContinuousQueryEngine, Subscription
 from .coverage import Cover, CoverageError, build_cover
-from .growing import GrowingSwat
-from .multi import StreamEnsemble
 from .errors import (
     drift_segment_errors,
     exponential_level_bound,
@@ -11,6 +9,8 @@ from .errors import (
     linear_level_bound,
     linear_query_bound,
 )
+from .growing import GrowingSwat
+from .multi import StreamEnsemble
 from .node import Role, SwatNode
 from .queries import (
     InnerProductQuery,

@@ -11,7 +11,7 @@ the push analogue of the precision-bounded one-time query.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from .queries import InnerProductQuery
 from .swat import Swat
@@ -25,7 +25,7 @@ class Subscription:
     """A standing query registration."""
 
     def __init__(self, sub_id: int, query: InnerProductQuery, callback: Callback,
-                 report_delta: float):
+                 report_delta: float) -> None:
         self.sub_id = sub_id
         self.query = query
         self.callback = callback
@@ -58,7 +58,7 @@ class ContinuousQueryEngine:
         :meth:`update` here instead of on the tree).
     """
 
-    def __init__(self, tree: Swat):
+    def __init__(self, tree: Swat) -> None:
         self.tree = tree
         self._subs: Dict[int, Subscription] = {}
         self._ids = itertools.count(1)
@@ -110,6 +110,6 @@ class ContinuousQueryEngine:
                 fired += 1
         return fired
 
-    def extend(self, values) -> int:
+    def extend(self, values: Iterable[float]) -> int:
         """Ingest many values; returns total notifications fired."""
         return sum(self.update(v) for v in values)

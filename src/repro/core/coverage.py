@@ -32,7 +32,7 @@ class Cover:
         :meth:`repro.core.swat.Swat.cover`); empty for a full tree.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.assignments: Dict[SwatNode, List[int]] = {}
         self.extrapolated: List[int] = []
 

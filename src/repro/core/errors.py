@@ -16,6 +16,7 @@ tests in ``tests/test_error_bounds.py``.
 from __future__ import annotations
 
 import math
+from typing import List
 
 __all__ = [
     "exponential_level_bound",
@@ -68,7 +69,7 @@ def linear_query_bound(eps: float, length: int) -> float:
     return eps * (4.0 ** (top + 1) - 1.0) / 3.0
 
 
-def drift_segment_errors(eps: float, segment_length: int) -> list:
+def drift_segment_errors(eps: float, segment_length: int) -> List[float]:
     """Per-point absolute error of a 1-coefficient (average) summary under drift.
 
     For a segment ``d_i = d_0 + i * eps`` of ``2^{l+1}`` points summarized by

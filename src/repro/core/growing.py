@@ -33,7 +33,7 @@ class GrowingSwat:
     index 0 is the newest value, index ``time - 1`` the very first.
     """
 
-    def __init__(self, k: int = 1):
+    def __init__(self, k: int = 1) -> None:
         if k < 1:
             raise ValueError("k must be >= 1")
         self.k = int(k)
@@ -63,7 +63,7 @@ class GrowingSwat:
             node.coeffs.size
             for lv in self._levels
             for node in lv.values()
-            if node.is_filled
+            if node.coeffs is not None
         )
 
     def node(self, level: int, role: str) -> SwatNode:
@@ -110,10 +110,11 @@ class GrowingSwat:
                 return None
             return leaf_coeffs(self._last_two[-1], self._last_two[-2], self.k)
         below = self._levels[level - 1]
-        older, newer = below[Role.LEFT], below[Role.RIGHT]
-        if not (older.is_filled and newer.is_filled):
+        older_coeffs = below[Role.LEFT].coeffs
+        newer_coeffs = below[Role.RIGHT].coeffs
+        if older_coeffs is None or newer_coeffs is None:
             return None
-        return combine_haar(older.coeffs, newer.coeffs, self.k)
+        return combine_haar(older_coeffs, newer_coeffs, self.k)
 
     # ---------------------------------------------------------------- queries
 

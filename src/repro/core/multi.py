@@ -33,7 +33,7 @@ class StreamEnsemble:
         sharper correlation estimates).
     """
 
-    def __init__(self, window_size: int, k: int = 4):
+    def __init__(self, window_size: int, k: int = 4) -> None:
         self.window_size = window_size
         self.k = k
         self._trees: Dict[str, Swat] = {}

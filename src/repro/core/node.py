@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -34,7 +34,7 @@ class SwatNode:
 
     __slots__ = ("level", "role", "coeffs", "end_time", "deviation", "positions")
 
-    def __init__(self, level: int, role: str):
+    def __init__(self, level: int, role: str) -> None:
         self.level = level
         self.role = role
         self.coeffs: Optional[np.ndarray] = None
@@ -55,13 +55,13 @@ class SwatNode:
     def is_filled(self) -> bool:
         return self.coeffs is not None
 
-    def absolute_segment(self) -> tuple:
+    def absolute_segment(self) -> Tuple[int, int]:
         """Absolute arrival-time range ``(first, last)`` the node covers."""
         if not self.is_filled:
             raise ValueError(f"node {self!r} holds no approximation yet")
         return (self.end_time - self.segment_length + 1, self.end_time)
 
-    def relative_segment(self, now: int) -> tuple:
+    def relative_segment(self, now: int) -> Tuple[int, int]:
         """Window-index range ``(newest_idx, oldest_idx)`` at current time ``now``.
 
         Window index 0 is the most recent stream value; the node covers
@@ -113,19 +113,21 @@ class SwatNode:
         Missing detail coefficients are zero, per the query handler of
         Figure 3(b).
         """
-        if not self.is_filled:
+        coeffs = self.coeffs
+        if coeffs is None:
             raise ValueError(f"node {self!r} holds no approximation yet")
         if self.positions is not None:
-            return sparse_reconstruct(self.positions, self.coeffs, self.segment_length)
+            return sparse_reconstruct(self.positions, coeffs, self.segment_length)
         if wavelet in ("haar", "db1"):
-            return haar_reconstruct(self.coeffs, self.segment_length)
-        return _generic_reconstruct(self.coeffs, self.segment_length, wavelet)
+            return haar_reconstruct(coeffs, self.segment_length)
+        return _generic_reconstruct(coeffs, self.segment_length, wavelet)
 
     def average(self) -> float:
         """Segment mean (meaningful for Haar; it is the k=1 summary of §2.2)."""
-        if not self.is_filled:
+        coeffs = self.coeffs
+        if coeffs is None:
             raise ValueError(f"node {self!r} holds no approximation yet")
-        return haar_average(self.coeffs, self.segment_length)
+        return haar_average(coeffs, self.segment_length)
 
     def __repr__(self) -> str:
         seg = f", end_time={self.end_time}" if self.is_filled else ", empty"

@@ -50,7 +50,7 @@ class InnerProductQuery:
     weights: Tuple[float, ...]
     precision: float = float("inf")
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if len(self.indices) != len(self.weights):
             raise ValueError(
                 f"index/weight length mismatch: {len(self.indices)} vs {len(self.weights)}"
@@ -144,7 +144,7 @@ class RangeQuery:
     t_start: int
     t_end: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.radius < 0:
             raise ValueError("radius must be non-negative")
         if not 0 <= self.t_start <= self.t_end:

@@ -27,10 +27,11 @@ from __future__ import annotations
 import math
 import time
 from collections import deque
-from typing import Dict, Iterable, List, Sequence
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import contracts
 from ..obs import metrics as obs
 from ..wavelets.haar import (
     combine_haar,
@@ -65,7 +66,14 @@ class QueryAnswer:
 
     __slots__ = ("value", "estimates", "nodes_used", "n_extrapolated", "error_bound")
 
-    def __init__(self, value, estimates, nodes_used, n_extrapolated, error_bound=None):
+    def __init__(
+        self,
+        value: float,
+        estimates: np.ndarray,
+        nodes_used: List[SwatNode],
+        n_extrapolated: int,
+        error_bound: Optional[float] = None,
+    ) -> None:
         self.value = value
         self.estimates = estimates
         self.nodes_used = nodes_used
@@ -119,6 +127,10 @@ class Swat:
         ``k``, the paper's default reading) or ``"largest"`` (the top-``k``
         by magnitude — the classical Gilbert et al. choice; better on bursty
         data, needs position bookkeeping).  Haar only for ``"largest"``.
+    check_invariants:
+        Run :func:`repro.contracts.check_swat` after every update.  ``None``
+        (the default) defers to the ``REPRO_CHECK_INVARIANTS`` environment
+        switch; a disabled tree pays one attribute read per update.
     """
 
     def __init__(
@@ -130,7 +142,8 @@ class Swat:
         use_raw_leaves: bool = True,
         track_deviation: bool = False,
         selection: str = "first",
-    ):
+        check_invariants: Optional[bool] = None,
+    ) -> None:
         if not is_power_of_two(window_size) or window_size < 4:
             raise ValueError(f"window_size must be a power of two >= 4, got {window_size}")
         n_levels = int(math.log2(window_size))
@@ -161,11 +174,12 @@ class Swat:
         self.use_raw_leaves = bool(use_raw_leaves) and min_level == 0
         self.n_levels = n_levels
         self._is_haar = wavelet in ("haar", "db1")
+        self._check_invariants = contracts.resolve_check_flag(check_invariants)
         self._time = 0
         # Raw ring buffer feeding the coarsest maintained level; for
         # min_level == 0 it is just the last two values (the paper's
         # "R_{-1} and L_{-1} are data values d_0 and d_1").
-        self._buffer: deque = deque(maxlen=1 << (min_level + 1))
+        self._buffer: Deque[float] = deque(maxlen=1 << (min_level + 1))
         # levels[l] maps role -> node; the top level only has R.
         self._levels: List[Dict[str, SwatNode]] = []
         for level in range(n_levels):
@@ -196,7 +210,7 @@ class Swat:
             node.coeffs.size
             for lv in self._levels[self.min_level :]
             for node in lv.values()
-            if node.is_filled
+            if node.coeffs is not None
         )
 
     def node(self, level: int, role: str) -> SwatNode:
@@ -239,6 +253,8 @@ class Swat:
             if fresh is not None:
                 coeffs, deviation, positions = fresh
                 lv[Role.RIGHT].set_contents(coeffs, t, deviation, positions)
+        if self._check_invariants:
+            contracts.check_swat(self)
         if _t0 is not None:
             obs.counter("swat.arrivals").inc()
             shifted = max_level + 1 - self.min_level
@@ -251,7 +267,9 @@ class Swat:
         for v in values:
             self.update(v)
 
-    def _fresh_right(self, level: int, t: int):
+    def _fresh_right(
+        self, level: int, t: int
+    ) -> Optional[Tuple[np.ndarray, Optional[float], Optional[np.ndarray]]]:
         """New contents of ``R_level``: ``(coeffs, deviation, positions)``.
 
         ``deviation`` is a certified bound on max |true - reconstruction|
@@ -280,19 +298,21 @@ class Swat:
             return truncate(flat, self.k), deviation, None
         below = self._levels[level - 1]
         older, newer = below[Role.LEFT], below[Role.RIGHT]
-        if not (older.is_filled and newer.is_filled):
+        older_coeffs, newer_coeffs = older.coeffs, newer.coeffs
+        if older_coeffs is None or newer_coeffs is None:
             return None
         if self.selection == "largest":
             positions, coeffs = sparse_combine(
-                older.positions, older.coeffs, newer.positions, newer.coeffs, self.k
+                older.positions, older_coeffs, newer.positions, newer_coeffs, self.k
             )
             return coeffs, None, positions
         if self._is_haar:
-            coeffs = combine_haar(older.coeffs, newer.coeffs, self.k)
+            coeffs = combine_haar(older_coeffs, newer_coeffs, self.k)
             deviation = None
             if self.track_deviation:
                 # Sound k=1 bound: a point errs by at most its child's
                 # deviation plus the child-vs-parent mean shift.
+                assert older.deviation is not None and newer.deviation is not None
                 parent_avg = haar_average(coeffs, 1 << (level + 1))
                 deviation = max(
                     older.deviation + abs(older.average() - parent_avg),
@@ -327,7 +347,7 @@ class Swat:
         values, __, __ = self._estimate(list(indices))
         return values
 
-    def _estimate(self, indices: List[int]):
+    def _estimate(self, indices: List[int]) -> Tuple[np.ndarray, List[SwatNode], int]:
         """Estimates plus the cover diagnostics for the given indices."""
         bad = [i for i in indices if not 0 <= i < self.size]
         if bad:
@@ -419,13 +439,14 @@ class Swat:
         """True when the certified error bound meets the query precision."""
         if not self.track_deviation:
             raise ValueError("construct the tree with track_deviation=True")
-        return self.answer(query).error_bound <= query.precision
+        bound = self.answer(query).error_bound
+        return bound is not None and bound <= query.precision
 
     def point_estimate(self, index: int) -> float:
         """Approximate value of the stream at window index ``index``."""
         return float(self.estimates([index])[0])
 
-    def answer_range(self, query: RangeQuery) -> List[tuple]:
+    def answer_range(self, query: RangeQuery) -> List[Tuple[int, float]]:
         """Answer a range query (Section 2.4).
 
         Returns ``(index, approx_value)`` pairs for window indices in
@@ -456,16 +477,17 @@ class Swat:
         mid-flight: configuration, the arrival clock, the raw ring buffer,
         and each filled node's coefficients and end time.
         """
-        nodes = []
+        nodes: List[Dict[str, object]] = []
         for level, lv in enumerate(self._levels):
             for role, node in lv.items():
-                if node.is_filled:
+                coeffs = node.coeffs
+                if coeffs is not None:
                     nodes.append(
                         {
                             "level": level,
                             "role": role,
                             "end_time": node.end_time,
-                            "coeffs": [float(c) for c in node.coeffs],
+                            "coeffs": [float(c) for c in coeffs],
                             "deviation": node.deviation,
                             "positions": (
                                 None

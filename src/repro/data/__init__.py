@@ -1,8 +1,8 @@
 """Datasets and workloads: synthetic streams, the weather substitute, queries."""
 
+from .loaders import load_series, save_series
 from .synthetic import drift_stream, random_walk_stream, stream_iter, uniform_stream
 from .weather import N_DAYS, santa_barbara_temps
-from .loaders import load_series, save_series
 from .workload import QUERY_KINDS, FixedWorkload, RandomWorkload, make_query
 
 __all__ = [

@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import math
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -80,7 +80,9 @@ def _parse(text: str, lineno: int, skip_bad: bool) -> Optional[float]:
     return value
 
 
-def save_series(path: PathLike, values, column: Optional[str] = None) -> None:
+def save_series(
+    path: PathLike, values: Sequence[float], column: Optional[str] = None
+) -> None:
     """Write a series back out (one value per line, or a one-column CSV)."""
     path = Path(path)
     arr = np.asarray(values, dtype=np.float64)

@@ -33,7 +33,7 @@ def make_query(
 class FixedWorkload:
     """Fixed query mode: yields the same query forever."""
 
-    def __init__(self, query: InnerProductQuery):
+    def __init__(self, query: InnerProductQuery) -> None:
         self.query = query
 
     def __iter__(self) -> Iterator[InnerProductQuery]:
@@ -89,7 +89,7 @@ class RandomWorkload:
         precision_low: Optional[float] = None,
         precision_high: Optional[float] = None,
         seed: Optional[int] = 0,
-    ):
+    ) -> None:
         if kind not in QUERY_KINDS:
             raise ValueError(f"unknown query kind {kind!r}")
         if window_size < 2:

@@ -1,0 +1,11 @@
+"""Developer tooling shipped with the library.
+
+:mod:`repro.devtools.lint` is the repo-specific AST linter behind both
+``python -m tools.lint`` and the ``repro check`` CLI subcommand.  It lives
+inside the package (rather than only under ``tools/``) so the installed CLI
+can run it without a repository checkout on ``sys.path``.
+"""
+
+from .lint import Finding, lint_paths, main
+
+__all__ = ["Finding", "lint_paths", "main"]

@@ -1,0 +1,454 @@
+"""Repo-specific AST linter: the REP rule catalogue.
+
+General-purpose linters cannot see this repository's structural contracts —
+that the discrete-event simulator owns time, that stream generators must be
+seeded, that instrumentation on hot paths must stay behind the
+:data:`repro.obs.metrics.ENABLED` fast-path check.  This module encodes those
+contracts as AST checks:
+
+========  ==================================================================
+code      rule
+========  ==================================================================
+REP001    no unseeded ``random`` / ``np.random`` module-level RNG calls in
+          ``simulate/``, ``replication/``, ``data/`` — route randomness
+          through an injected, seeded ``numpy.random.Generator``
+REP002    no wall-clock reads (``time.time``, ``datetime.now``, ...) in
+          simulation/event paths (``simulate/``, ``core/``, ``network/``,
+          ``replication/``) — the simulator owns virtual time;
+          ``time.perf_counter`` stays legal for duration measurement
+REP003    no float ``==`` / ``!=`` against non-zero float literals or
+          coefficient/precision-named values — compare with a tolerance
+          (exact comparisons against the literal ``0.0`` sentinel are legal)
+REP004    ``obs.counter`` / ``obs.gauge`` / ``obs.histogram`` calls in hot
+          paths must sit behind an ``ENABLED``-style guard so a metrics-off
+          process pays only the attribute check
+REP005    no mutable default arguments (``def f(x=[])``) anywhere
+========  ==================================================================
+
+Run it as ``python -m tools.lint [paths...]`` or ``repro check [paths...]``;
+the default target is ``src``.  Exit status is 1 when any finding is
+reported, 0 on a clean tree.  See ``docs/static-analysis.md`` for the full
+catalogue, rationale, and how to add a rule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import re
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "check_source",
+    "lint_file",
+    "lint_paths",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: code, summary, directory scope, and checker.
+
+    ``scope`` is a tuple of directory names; the rule applies to a file when
+    any of those names appears among the file's path components (an empty
+    scope applies everywhere).  ``check`` receives the parsed module (with
+    parent links, see :func:`_attach_parents`) and yields findings.
+    """
+
+    code: str
+    summary: str
+    scope: Tuple[str, ...]
+    check: Callable[[ast.Module, str], Iterator[Finding]]
+
+    def applies_to(self, path: str) -> bool:
+        if not self.scope:
+            return True
+        parts = os.path.normpath(path).split(os.sep)
+        return any(part in self.scope for part in parts[:-1])
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def _attach_parents(tree: ast.Module) -> None:
+    """Give every node a ``_repro_parent`` link for ancestor walks."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._repro_parent = node  # type: ignore[attr-defined]
+
+
+def _ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    current: Optional[ast.AST] = getattr(node, "_repro_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "_repro_parent", None)
+
+
+def _dotted_chain(node: ast.expr) -> Tuple[str, ...]:
+    """``np.random.uniform`` -> ``("np", "random", "uniform")``; empty when
+    the expression is not a plain dotted name."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _identifier_of(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+# ------------------------------------------------------------------- REP001
+
+#: Seeded / construction entry points of ``random`` and ``numpy.random`` that
+#: are fine to call; everything else on those modules drives hidden global
+#: RNG state and breaks run-to-run determinism.
+_SEEDED_RNG_ATTRS = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+     "Philox", "Random", "SystemRandom"}
+)
+
+
+def _check_rep001(tree: ast.Module, path: str) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _dotted_chain(node.func)
+        hit: Optional[str] = None
+        if len(chain) == 2 and chain[0] == "random":
+            if chain[1] not in _SEEDED_RNG_ATTRS:
+                hit = ".".join(chain)
+        elif len(chain) == 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+            if chain[2] not in _SEEDED_RNG_ATTRS:
+                hit = ".".join(chain)
+        if hit is not None:
+            yield Finding(
+                path, node.lineno, node.col_offset, "REP001",
+                f"unseeded module-level RNG call {hit}(); route randomness "
+                "through an injected numpy.random.default_rng(seed) Generator",
+            )
+
+
+# ------------------------------------------------------------------- REP002
+
+#: Dotted suffixes that read the wall clock.  ``time.perf_counter`` (a
+#: monotonic duration clock) is deliberately absent: measuring how long an
+#: event handler took is legal, asking "what time is it" is not.
+_WALL_CLOCK_SUFFIXES: Tuple[Tuple[str, ...], ...] = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "localtime"),
+    ("time", "gmtime"),
+    ("time", "ctime"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+)
+
+
+def _check_rep002(tree: ast.Module, path: str) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _dotted_chain(node.func)
+        if len(chain) < 2:
+            continue
+        suffix = chain[-2:]
+        if suffix in _WALL_CLOCK_SUFFIXES:
+            yield Finding(
+                path, node.lineno, node.col_offset, "REP002",
+                f"wall-clock read {'.'.join(chain)}() inside a simulation/event "
+                "path; the simulator owns virtual time (Simulator.now) — use "
+                "time.perf_counter only for duration measurement",
+            )
+
+
+# ------------------------------------------------------------------- REP003
+
+#: Identifiers that denote wavelet coefficients, precisions, or derived
+#: tolerances — quantities that accumulate float rounding and must never be
+#: compared with ``==`` / ``!=``.
+_FLOATY_NAME_RE = re.compile(
+    r"(?:^|_)(?:coeffs?|coefficients?|precision|deviation|widths?|"
+    r"tolerances?|tol|eps|delta)(?:$|_|\d)",
+    re.IGNORECASE,
+)
+
+
+def _is_floaty_operand(node: ast.expr) -> Optional[str]:
+    """A reason string when the operand must not be ``==``-compared."""
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        # Exact comparison against the 0.0 sentinel is a legitimate IEEE
+        # idiom ("was a detail coefficient exactly cancelled"); any other
+        # float literal is a tolerance bug waiting to happen.
+        if node.value != 0.0:
+            return f"float literal {node.value!r}"
+        return None
+    identifier = _identifier_of(node)
+    if identifier is not None and _FLOATY_NAME_RE.search(identifier):
+        return f"coefficient/precision value {identifier!r}"
+    return None
+
+
+def _check_rep003(tree: ast.Module, path: str) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            reason = _is_floaty_operand(lhs) or _is_floaty_operand(rhs)
+            if reason is not None:
+                yield Finding(
+                    path, node.lineno, node.col_offset, "REP003",
+                    f"float equality against {reason}; compare with an "
+                    "explicit tolerance (math.isclose / abs(a - b) <= tol)",
+                )
+
+
+# ------------------------------------------------------------------- REP004
+
+_OBS_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+_GUARD_NAME_RE = re.compile(r"enabled|obs_on", re.IGNORECASE)
+
+
+def _is_enabled_guard(test: ast.expr) -> bool:
+    """True when a guard test references the instrumentation switch — the
+    ``ENABLED`` module attribute, a local mirror of it (``obs_on``), or an
+    ``x is (not) None`` check on a sentinel derived from it."""
+    for node in ast.walk(test):
+        identifier = _identifier_of(node) if isinstance(node, ast.expr) else None
+        if identifier is not None and _GUARD_NAME_RE.search(identifier):
+            return True
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+        ):
+            if any(
+                isinstance(c, ast.Constant) and c.value is None
+                for c in node.comparators
+            ):
+                return True
+    return False
+
+
+def _check_rep004(tree: ast.Module, path: str) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _dotted_chain(node.func)
+        if len(chain) != 2 or chain[0] not in ("obs", "metrics"):
+            continue
+        if chain[1] not in _OBS_FACTORIES:
+            continue
+        guarded = any(
+            isinstance(ancestor, (ast.If, ast.IfExp))
+            and _is_enabled_guard(ancestor.test)
+            for ancestor in _ancestors(node)
+        )
+        if not guarded:
+            yield Finding(
+                path, node.lineno, node.col_offset, "REP004",
+                f"hot-path instrumentation {'.'.join(chain)}() is not behind "
+                "an ENABLED fast-path guard; wrap it in `if obs.ENABLED:` so "
+                "a metrics-off process pays one attribute check",
+            )
+
+
+# ------------------------------------------------------------------- REP005
+
+_MUTABLE_CTORS = frozenset({"list", "dict", "set"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CTORS
+    return False
+
+
+def _check_rep005(tree: ast.Module, path: str) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield Finding(
+                    path, default.lineno, default.col_offset, "REP005",
+                    f"mutable default argument in {node.name}(); default to "
+                    "None and create the object inside the function",
+                )
+
+
+# ------------------------------------------------------------------ registry
+
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        "REP001",
+        "no unseeded random/np.random module-level RNG calls",
+        ("simulate", "replication", "data"),
+        _check_rep001,
+    ),
+    Rule(
+        "REP002",
+        "no wall-clock reads in simulation/event paths",
+        ("simulate", "core", "network", "replication"),
+        _check_rep002,
+    ),
+    Rule(
+        "REP003",
+        "no float ==/!= on coefficient or precision values",
+        (),
+        _check_rep003,
+    ),
+    Rule(
+        "REP004",
+        "hot-path obs instrumentation must be ENABLED-guarded",
+        ("core", "network", "replication", "simulate"),
+        _check_rep004,
+    ),
+    Rule(
+        "REP005",
+        "no mutable default arguments",
+        (),
+        _check_rep005,
+    ),
+)
+
+_RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in RULES}
+
+
+# -------------------------------------------------------------------- driver
+
+
+def check_source(
+    source: str, path: str, select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint one module's source text; ``path`` scopes directory-bound rules."""
+    tree = ast.parse(source, filename=path)
+    _attach_parents(tree)
+    findings: List[Finding] = []
+    for rule in RULES:
+        if select is not None and rule.code not in select:
+            continue
+        if not rule.applies_to(path):
+            continue
+        findings.extend(rule.check(tree, path))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_file(path: str, select: Optional[Sequence[str]] = None) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return check_source(fh.read(), path, select)
+
+
+def _iter_python_files(target: str) -> Iterator[str]:
+    if os.path.isfile(target):
+        yield target
+        return
+    for dirpath, dirnames, filenames in os.walk(target):
+        dirnames[:] = sorted(
+            d for d in dirnames if not d.startswith(".") and d != "__pycache__"
+        )
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def lint_paths(
+    paths: Sequence[str], select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint files and directory trees; returns all findings, sorted."""
+    findings: List[Finding] = []
+    for target in paths:
+        if not os.path.exists(target):
+            raise FileNotFoundError(f"no such file or directory: {target!r}")
+        for path in _iter_python_files(target):
+            findings.extend(lint_file(path, select))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools.lint",
+        description="Repo-specific AST linter (rules REP001-REP005).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            where = ", ".join(rule.scope) if rule.scope else "everywhere"
+            print(f"{rule.code}  {rule.summary}  [{where}]")
+        return 0
+
+    select: Optional[List[str]] = None
+    if args.select is not None:
+        select = [code.strip().upper() for code in args.select.split(",") if code.strip()]
+        unknown = [code for code in select if code not in _RULES_BY_CODE]
+        if unknown:
+            print(f"unknown rule codes: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    try:
+        findings = lint_paths(args.paths, select)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tools.lint
+    sys.exit(main())

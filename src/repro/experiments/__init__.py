@@ -10,15 +10,15 @@ from .centralized import (
     format_table,
     run_error_experiment,
 )
-from .report import generate_report
 from .distributed import (
-    fig9a_rate_sweep,
-    fig9c_precision_sweep,
     fig10a_client_sweep,
     fig10b_precision_sweep_multi,
+    fig9a_rate_sweep,
+    fig9c_precision_sweep,
     replication_dataset,
     space_complexity,
 )
+from .report import generate_report
 
 __all__ = [
     "dataset",

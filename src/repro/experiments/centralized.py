@@ -8,7 +8,7 @@ report them.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, SupportsFloat
 
 import numpy as np
 
@@ -43,11 +43,25 @@ def dataset(name: str, n: Optional[int] = None, seed: int = 0) -> np.ndarray:
     raise ValueError(f"unknown dataset {name!r}")
 
 
+class Summarizer(Protocol):
+    """Anything that can ingest a stream and answer inner-product queries."""
+
+    def update(self, value: float) -> None: ...
+
+    def answer(self, query: InnerProductQuery) -> SupportsFloat: ...
+
+
+class Workload(Protocol):
+    """A query generator (fixed or random)."""
+
+    def next(self) -> InnerProductQuery: ...
+
+
 def run_error_experiment(
     stream: Sequence[float],
     window_size: int,
-    summarizer,
-    workload,
+    summarizer: Summarizer,
+    workload: Workload,
     warmup: int = 0,
     query_every: int = 1,
     error_kind: str = "relative",
@@ -161,7 +175,7 @@ def fig5_error_comparison(
     warmup = max(1000, window_size)
     rows = []
     for kind in ("exponential", "linear"):
-        def workload_factory():
+        def workload_factory() -> Workload:
             if mode == "fixed":
                 return FixedWorkload(make_query(kind, query_length))
             if mode == "random":
@@ -188,7 +202,7 @@ def fig5_error_comparison(
 class _HistAdapter:
     """Adapter giving :class:`HistogramSummary` the summarizer protocol."""
 
-    def __init__(self, hist: HistogramSummary):
+    def __init__(self, hist: HistogramSummary) -> None:
         self.hist = hist
 
     def update(self, value: float) -> None:
@@ -289,7 +303,7 @@ def format_table(rows: List[dict], title: str = "") -> str:
     return "\n".join(lines)
 
 
-def _fmt(v) -> str:
+def _fmt(v: object) -> str:
     if isinstance(v, float) or isinstance(v, np.floating):
         return f"{v:.6g}"
     return str(v)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import datetime
 import platform
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -22,10 +22,10 @@ from .centralized import (
     fig6b_response_time,
 )
 from .distributed import (
-    fig9a_rate_sweep,
-    fig9c_precision_sweep,
     fig10a_client_sweep,
     fig10b_precision_sweep_multi,
+    fig9a_rate_sweep,
+    fig9c_precision_sweep,
     space_complexity,
 )
 
@@ -43,13 +43,15 @@ def _md_table(rows: List[dict]) -> str:
     return "\n".join(out)
 
 
-def _fmt(v) -> str:
+def _fmt(v: object) -> str:
     if isinstance(v, (float, np.floating)):
         return f"{v:.5g}"
     return str(v)
 
 
-def generate_report(quick: bool = True, progress=None) -> str:
+def generate_report(
+    quick: bool = True, progress: Optional[Callable[[str], None]] = None
+) -> str:
     """Run the full experiment suite and return a markdown report.
 
     Parameters

@@ -35,7 +35,12 @@ def _prefix(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
     )
 
 
-def _sse(csum: np.ndarray, csq: np.ndarray, i, j):
+def _sse(
+    csum: np.ndarray,
+    csq: np.ndarray,
+    i: "np.ndarray | int | Sequence[int]",
+    j: "np.ndarray | int | Sequence[int]",
+) -> np.ndarray:
     """Vectorised SSE of positions ``i..j-1``; broadcasts over i and j."""
     i = np.asarray(i)
     j = np.asarray(j)

@@ -22,7 +22,7 @@ between stored breakpoints gives a ``(1 + delta)^{2B}``-approximation;
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 
 from .vopt import Bucket, Histogram
@@ -43,7 +43,7 @@ class _Level:
 
     __slots__ = ("positions", "errors", "last_error", "_band_base", "_pending")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.positions: List[int] = []
         self.errors: List[float] = []
         self.last_error = 0.0  # E[kk][n] at the current prefix length
@@ -65,7 +65,7 @@ class _Level:
             self._band_base = error
             self._pending = (position, error)
 
-    def candidates(self):
+    def candidates(self) -> Iterator[Tuple[int, float]]:
         """Stored band-end positions plus the current band's last position."""
         yield from zip(self.positions, self.errors)
         yield self._pending
@@ -86,7 +86,7 @@ class IncrementalHistogram:
         Overall approximation slack.
     """
 
-    def __init__(self, n_buckets: int = 8, eps: float = 0.1):
+    def __init__(self, n_buckets: int = 8, eps: float = 0.1) -> None:
         if n_buckets < 1:
             raise ValueError("n_buckets must be >= 1")
         if eps <= 0:
@@ -141,7 +141,7 @@ class IncrementalHistogram:
             level.last_error = best
             level.observe(n, best, self._growth)
 
-    def extend(self, values) -> None:
+    def extend(self, values: Iterable[float]) -> None:
         for v in values:
             self.update(v)
 

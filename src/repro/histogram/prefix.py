@@ -24,7 +24,7 @@ class PrefixStats:
     ``pos = size - 1 - index``.)
     """
 
-    def __init__(self, window_size: int):
+    def __init__(self, window_size: int) -> None:
         if window_size < 1:
             raise ValueError("window_size must be >= 1")
         self.window_size = window_size

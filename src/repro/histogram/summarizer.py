@@ -44,7 +44,7 @@ class HistogramSummary:
         n_buckets: int = 30,
         eps: float = 0.1,
         method: str = "dense",
-    ):
+    ) -> None:
         if n_buckets < 1:
             raise ValueError("n_buckets must be >= 1")
         self.window_size = window_size

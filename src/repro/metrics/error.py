@@ -40,7 +40,7 @@ def absolute_error(true_value: float, approx_value: float) -> float:
 class ErrorSeries:
     """Accumulates per-query errors and derives the paper's summary statistics."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._errors: List[float] = []
         self._running_sum = 0.0
 
@@ -86,7 +86,7 @@ class GroundTruthWindow:
     most recent arrival) — the indexing convention of Section 2.1.
     """
 
-    def __init__(self, window_size: int):
+    def __init__(self, window_size: int) -> None:
         if window_size < 1:
             raise ValueError("window_size must be >= 1")
         self.window_size = window_size

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple, TypeVar
 
 __all__ = ["Stopwatch", "time_call"]
+
+_T = TypeVar("_T")
 
 
 class Stopwatch:
@@ -18,7 +20,7 @@ class Stopwatch:
     True
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.elapsed = 0.0
         self.count = 0
         self._start: Optional[float] = None
@@ -61,11 +63,11 @@ class Stopwatch:
         self.start()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.stop()
 
 
-def time_call(fn: Callable, *args, **kwargs) -> tuple:
+def time_call(fn: Callable[..., _T], *args: object, **kwargs: object) -> Tuple[_T, float]:
     """Run ``fn(*args, **kwargs)`` and return ``(result, seconds)``."""
     start = time.perf_counter()
     result = fn(*args, **kwargs)

@@ -25,7 +25,7 @@ class Segment:
     newest: int
     oldest: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0 <= self.newest <= self.oldest:
             raise ValueError(f"invalid segment ({self.newest}, {self.oldest})")
 
@@ -117,7 +117,7 @@ class DirectoryRow:
 class Directory:
     """Per-site directory: one :class:`DirectoryRow` per window segment."""
 
-    def __init__(self, window_size: int):
+    def __init__(self, window_size: int) -> None:
         self.window_size = window_size
         self.rows: Dict[Segment, DirectoryRow] = {
             seg: DirectoryRow(seg) for seg in window_segments(window_size)

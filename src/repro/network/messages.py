@@ -41,7 +41,7 @@ class MessageStats:
     post-warm-up reset also clears this stats object's registry scope.
     """
 
-    def __init__(self, protocol: Optional[str] = None):
+    def __init__(self, protocol: Optional[str] = None) -> None:
         self.protocol = protocol
         self._labels = {"protocol": protocol} if protocol else {}
         self._counts: Counter = Counter()

@@ -25,7 +25,7 @@ class Topology:
         maps to ``None``.
     """
 
-    def __init__(self, parent: Dict[str, Optional[str]]):
+    def __init__(self, parent: Dict[str, Optional[str]]) -> None:
         roots = [n for n, p in parent.items() if p is None]
         if len(roots) != 1:
             raise ValueError(f"topology must have exactly one root, got {roots}")

@@ -55,7 +55,7 @@ class Transport:
         topology: Topology,
         latency: float = 0.0,
         tracer: Optional[Tracer] = None,
-    ):
+    ) -> None:
         if latency < 0:
             raise ValueError("latency must be non-negative")
         self.sim = sim
@@ -78,7 +78,9 @@ class Transport:
     def _adjacent(self, a: str, b: str) -> bool:
         return self.topology.parent(a) == b or self.topology.parent(b) == a
 
-    def send(self, src: str, dst: str, kind: str, payload: dict = None) -> None:
+    def send(
+        self, src: str, dst: str, kind: str, payload: Optional[dict] = None
+    ) -> None:
         """Ship one envelope one hop; delivery is a future simulator event."""
         if dst not in self._handlers:
             raise KeyError(f"no handler registered at {dst!r}")

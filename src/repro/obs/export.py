@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .metrics import MetricsRegistry
 
@@ -39,7 +39,7 @@ SCHEMA_VERSION = 1
 
 def to_json(registry: MetricsRegistry) -> dict:
     """JSON-serializable dump of the registry (stable key order)."""
-    out = {"version": SCHEMA_VERSION}
+    out: dict = {"version": SCHEMA_VERSION}
     out.update(registry.snapshot())
     return out
 
@@ -57,10 +57,11 @@ _KEY_RE = re.compile(r'^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$')
 _LABEL_RE = re.compile(r'(?P<k>[^=,]+)="(?P<v>[^"]*)"')
 
 
-def _parse_key(key: str):
+def _parse_key(key: str) -> Tuple[str, Dict[str, str]]:
     m = _KEY_RE.match(key)
+    assert m is not None  # the pattern accepts any non-empty name
     name = m.group("name")
-    labels = {}
+    labels: Dict[str, str] = {}
     if m.group("labels"):
         for lm in _LABEL_RE.finditer(m.group("labels")):
             labels[lm.group("k")] = lm.group("v")
@@ -111,7 +112,7 @@ def _render_labels(labels: Dict[str, str]) -> str:
 def to_prometheus(registry: MetricsRegistry) -> str:
     """Prometheus-style exposition text (# TYPE comments plus samples)."""
     snap = registry.snapshot()
-    lines = []
+    lines: List[str] = []
     for key, value in snap["counters"].items():
         lines.append(f"# TYPE {_parse_key(key)[0]} counter")
         lines.append(f"{key} {value:g}")
@@ -137,7 +138,7 @@ def parse_prometheus(text: str) -> dict:
     come back as ``None``.
     """
     types: Dict[str, str] = {}
-    samples = []
+    samples: List[Tuple[str, float]] = []
     for line in text.splitlines():
         line = line.strip()
         if not line:
@@ -150,7 +151,7 @@ def parse_prometheus(text: str) -> dict:
         key, value = line.rsplit(" ", 1)
         samples.append((key, float(value)))
 
-    def _hist_base(name: str):
+    def _hist_base(name: str) -> Optional[Tuple[str, str]]:
         """(base, suffix) when ``name`` is a histogram component, else None."""
         for suffix in ("_bucket", "_sum", "_count"):
             if name.endswith(suffix):
@@ -159,7 +160,7 @@ def parse_prometheus(text: str) -> dict:
                     return base, suffix
         return None
 
-    out = {"counters": {}, "gauges": {}, "histograms": {}}
+    out: Dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
     hist_parts: Dict[str, dict] = {}
     for key, value in samples:
         name, labels = _parse_key(key)
@@ -184,7 +185,7 @@ def parse_prometheus(text: str) -> dict:
         # De-cumulate the bucket counts back to per-bucket increments
         # (insertion order follows the emitted ascending-``le`` order).
         previous = 0
-        buckets = {}
+        buckets: Dict[Optional[str], int] = {}
         for le, cumulative in entry["buckets"].items():
             buckets[le] = int(cumulative) - previous
             previous = int(cumulative)

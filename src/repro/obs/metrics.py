@@ -21,7 +21,7 @@ in snapshots and exports.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type, TypeVar, Union, cast
 
 from ..metrics.timing import Stopwatch
 
@@ -78,7 +78,7 @@ class Counter:
     __slots__ = ("name", "labels", "value")
     kind = "counter"
 
-    def __init__(self, name: str, labels: Labels = ()):
+    def __init__(self, name: str, labels: Labels = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
@@ -99,7 +99,7 @@ class Gauge:
     __slots__ = ("name", "labels", "value")
     kind = "gauge"
 
-    def __init__(self, name: str, labels: Labels = ()):
+    def __init__(self, name: str, labels: Labels = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
@@ -127,7 +127,7 @@ class _HistogramTimer:
 
     __slots__ = ("_hist", "_sw")
 
-    def __init__(self, hist: "Histogram"):
+    def __init__(self, hist: "Histogram") -> None:
         self._hist = hist
         self._sw = Stopwatch()
 
@@ -135,7 +135,7 @@ class _HistogramTimer:
         self._sw.start()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self._hist.observe(self._sw.stop())
 
 
@@ -150,7 +150,7 @@ class Histogram:
     __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum", "min", "max")
     kind = "histogram"
 
-    def __init__(self, name: str, labels: Labels = (), buckets: Optional[Iterable[float]] = None):
+    def __init__(self, name: str, labels: Labels = (), buckets: Optional[Iterable[float]] = None) -> None:
         self.name = name
         self.labels = labels
         if buckets is None:
@@ -221,6 +221,12 @@ class Histogram:
         )
 
 
+#: Any registered metric instance.
+Metric = Union[Counter, Gauge, Histogram]
+
+_MetricT = TypeVar("_MetricT", Counter, Gauge, Histogram)
+
+
 class MetricsRegistry:
     """Name+labels keyed store of metric instances.
 
@@ -230,33 +236,42 @@ class MetricsRegistry:
     raises ``ValueError``.
     """
 
-    def __init__(self):
-        self._metrics: Dict[Tuple[str, Labels], object] = {}
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, Labels], Metric] = {}
 
-    def _get(self, cls, name: str, labels: Dict[str, object], **kwargs):
+    def _get(
+        self,
+        cls: Type[_MetricT],
+        factory: Callable[[Labels], _MetricT],
+        name: str,
+        labels: Dict[str, object],
+    ) -> _MetricT:
         key = (name, _labels_of(labels))
         metric = self._metrics.get(key)
         if metric is None:
-            metric = cls(name, key[1], **kwargs)
-            self._metrics[key] = metric
-        elif type(metric) is not cls:
+            created = factory(key[1])
+            self._metrics[key] = created
+            return created
+        if type(metric) is not cls:
             raise ValueError(
                 f"metric {render_key(*key)!r} already registered as {metric.kind}"
             )
-        return metric
+        return cast(_MetricT, metric)
 
-    def counter(self, name: str, **labels) -> Counter:
-        return self._get(Counter, name, labels)
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, lambda lbls: Counter(name, lbls), name, labels)
 
-    def gauge(self, name: str, **labels) -> Gauge:
-        return self._get(Gauge, name, labels)
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, lambda lbls: Gauge(name, lbls), name, labels)
 
     def histogram(
-        self, name: str, buckets: Optional[Iterable[float]] = None, **labels
+        self, name: str, buckets: Optional[Iterable[float]] = None, **labels: object
     ) -> Histogram:
-        return self._get(Histogram, name, labels, buckets=buckets)
+        return self._get(
+            Histogram, lambda lbls: Histogram(name, lbls, buckets=buckets), name, labels
+        )
 
-    def metrics(self) -> List[object]:
+    def metrics(self) -> List["Metric"]:
         """All registered metrics, sorted by rendered key."""
         return [self._metrics[k] for k in sorted(self._metrics)]
 
@@ -266,7 +281,7 @@ class MetricsRegistry:
     def snapshot(self) -> dict:
         """JSON-serializable dump: ``{"counters": {...}, "gauges": {...},
         "histograms": {...}}`` keyed by rendered ``name{labels}``."""
-        out = {"counters": {}, "gauges": {}, "histograms": {}}
+        out: Dict[str, Dict[str, object]] = {"counters": {}, "gauges": {}, "histograms": {}}
         for (name, labels), metric in sorted(self._metrics.items()):
             out[metric.kind + "s"][render_key(name, labels)] = metric.snapshot()
         return out
@@ -319,15 +334,17 @@ def disable() -> None:
     ENABLED = False
 
 
-def counter(name: str, **labels) -> Counter:
+def counter(name: str, **labels: object) -> Counter:
     return _registry.counter(name, **labels)
 
 
-def gauge(name: str, **labels) -> Gauge:
+def gauge(name: str, **labels: object) -> Gauge:
     return _registry.gauge(name, **labels)
 
 
-def histogram(name: str, buckets: Optional[Iterable[float]] = None, **labels) -> Histogram:
+def histogram(
+    name: str, buckets: Optional[Iterable[float]] = None, **labels: object
+) -> Histogram:
     return _registry.histogram(name, buckets=buckets, **labels)
 
 
@@ -352,7 +369,11 @@ def snapshot_delta(after: dict, before: dict) -> dict:
     rewound) and are taken from ``after``.  Metrics absent from ``before``
     pass through unchanged.
     """
-    out = {"counters": {}, "gauges": dict(after.get("gauges", {})), "histograms": {}}
+    out: Dict[str, Dict[str, object]] = {
+        "counters": {},
+        "gauges": dict(after.get("gauges", {})),
+        "histograms": {},
+    }
     before_c = before.get("counters", {})
     for key, value in after.get("counters", {}).items():
         out["counters"][key] = value - before_c.get(key, 0.0)

@@ -12,7 +12,9 @@ and post-mortems.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple, TypeVar
+
+_T = TypeVar("_T")
 
 __all__ = ["EventSpan", "HopRecord", "Tracer", "RecordingTracer"]
 
@@ -73,15 +75,15 @@ class RecordingTracer(Tracer):
     """Keeps every span/hop in memory (optionally capped at ``max_records``
     per stream, dropping the oldest — enough for rolling dashboards)."""
 
-    def __init__(self, max_records: Optional[int] = None):
+    def __init__(self, max_records: Optional[int] = None) -> None:
         if max_records is not None and max_records <= 0:
             raise ValueError("max_records must be positive")
         self.max_records = max_records
         self.spans: List[EventSpan] = []
-        self.sends: List[tuple] = []
+        self.sends: List[Tuple[str, str, str, float]] = []
         self.deliveries: List[HopRecord] = []
 
-    def _push(self, records: list, item) -> None:
+    def _push(self, records: List[_T], item: _T) -> None:
         records.append(item)
         if self.max_records is not None and len(records) > self.max_records:
             del records[0]

@@ -32,13 +32,13 @@ class _NodeCounters:
 
     __slots__ = ("reads", "writes", "local_reads", "local_writes")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.reads: Dict[str, int] = {}
         self.writes: Dict[str, int] = {}
         self.local_reads = 0
         self.local_writes = 0
 
-    def reset(self):
+    def reset(self) -> None:
         self.reads.clear()
         self.writes.clear()
         self.local_reads = 0
@@ -63,7 +63,7 @@ class AdrObject:
         Defaults to just the tree root.
     """
 
-    def __init__(self, topology: Topology, initial_replicas: Optional[Set[str]] = None):
+    def __init__(self, topology: Topology, initial_replicas: Optional[Set[str]] = None) -> None:
         self.topology = topology
         if initial_replicas is None:
             replicas = {topology.root}
@@ -121,6 +121,7 @@ class AdrObject:
             path = self._tree_path(node, replica)
             if best is None or len(path) < len(best):
                 best = path
+        assert best is not None  # the replication scheme is never empty
         return best
 
     @property
@@ -129,7 +130,7 @@ class AdrObject:
 
     def r_fringe(self) -> Set[str]:
         """Replica nodes with at most one replica neighbour (leaves of R)."""
-        out = set()
+        out: Set[str] = set()
         for node in self.replicas:
             r_neigh = [v for v in self._neighbours(node) if v in self.replicas]
             if len(r_neigh) <= 1 and len(self.replicas) > 1:

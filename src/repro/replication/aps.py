@@ -44,7 +44,7 @@ class AdaptivePrecision(ReplicationProtocol):
         alpha: float = 1.0,
         tau_0: float = 2.0,
         tau_inf: float = float("inf"),
-    ):
+    ) -> None:
         super().__init__(topology, window_size)
         if alpha <= 0:
             raise ValueError("alpha must be positive")

@@ -24,10 +24,11 @@ from __future__ import annotations
 import logging
 from typing import Dict, List, Optional, Tuple
 
+from .. import contracts
 from ..core.coverage import CoverageError
 from ..core.queries import InnerProductQuery
 from ..core.swat import Swat
-from ..network.directory import Directory, Segment
+from ..network.directory import Directory, DirectoryRow, Segment
 from ..network.messages import MessageKind
 from ..network.topology import Topology
 from .base import ReplicationProtocol
@@ -51,8 +52,12 @@ class SwatAsr(ReplicationProtocol):
     name = "SWAT-ASR"
 
     def __init__(
-        self, topology: Topology, window_size: int, use_summary_ranges: bool = False
-    ):
+        self,
+        topology: Topology,
+        window_size: int,
+        use_summary_ranges: bool = False,
+        check_invariants: Optional[bool] = None,
+    ) -> None:
         """``use_summary_ranges=True`` derives segment ranges from a
         deviation-tracked 1-coefficient SWAT at the source — "the central
         site which maintains summary of the stream" — instead of exact
@@ -69,7 +74,12 @@ class SwatAsr(ReplicationProtocol):
         }
         self._segments = self.sites[topology.root].segments
         self.use_summary_ranges = bool(use_summary_ranges)
-        self._summary = Swat(window_size, track_deviation=use_summary_ranges)
+        self._check_invariants = contracts.resolve_check_flag(check_invariants)
+        self._summary = Swat(
+            window_size,
+            track_deviation=use_summary_ranges,
+            check_invariants=self._check_invariants,
+        )
 
     # ------------------------------------------------------------- data path
 
@@ -84,6 +94,8 @@ class SwatAsr(ReplicationProtocol):
         for seg in self._segments:
             rng = self._segment_range(seg)
             self._apply_update(self.topology.root, seg, rng)
+        if self._check_invariants:
+            contracts.check_asr(self)
 
     def _segment_range(self, seg: Segment) -> Tuple[float, float]:
         if not self.use_summary_ranges:
@@ -178,7 +190,7 @@ class SwatAsr(ReplicationProtocol):
         return estimates
 
     @staticmethod
-    def _count_read(row, from_child: Optional[str]) -> None:
+    def _count_read(row: DirectoryRow, from_child: Optional[str]) -> None:
         if from_child is None:
             row.local_reads += 1
         else:
@@ -234,6 +246,8 @@ class SwatAsr(ReplicationProtocol):
         for directory in self.sites.values():
             for seg in self._segments:
                 directory.row(seg).reset_counts()
+        if self._check_invariants:
+            contracts.check_asr(self)
 
     # --------------------------------------------------------------- metrics
 

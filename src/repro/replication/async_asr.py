@@ -17,12 +17,12 @@ flight, delayed refreshes, and measurable round-trip times.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, cast
 
 from ..core.queries import InnerProductQuery
 from ..metrics.error import GroundTruthWindow
-from ..network.directory import Directory, Segment
-from ..network.messages import MessageKind
+from ..network.directory import Directory, DirectoryRow, Segment
+from ..network.messages import MessageKind, MessageStats
 from ..network.topology import Topology
 from ..network.transport import Envelope, Transport
 from ..simulate.events import Simulator
@@ -33,16 +33,18 @@ __all__ = ["AsyncSwatAsr"]
 class _Site:
     """One site actor: a directory plus pending-query bookkeeping."""
 
-    def __init__(self, node_id: str, system: "AsyncSwatAsr"):
+    def __init__(self, node_id: str, system: "AsyncSwatAsr") -> None:
         self.id = node_id
         self.system = system
         self.directory = Directory(system.window_size)
         # qid -> ("child", child_id) | ("local", callback)
-        self.pending: Dict[int, Tuple] = {}
+        self.pending: Dict[int, Tuple[str, object]] = {}
 
     # --------------------------------------------------------------- queries
 
-    def issue_query(self, query: InnerProductQuery, callback: Callable) -> None:
+    def issue_query(
+        self, query: InnerProductQuery, callback: Callable[[Dict[int, float]], None]
+    ) -> None:
         estimates = self._try_satisfy(query, from_child=None)
         if estimates is not None:
             callback(estimates)
@@ -81,7 +83,7 @@ class _Site:
         return estimates
 
     @staticmethod
-    def _count_read(row, from_child: Optional[str]) -> None:
+    def _count_read(row: DirectoryRow, from_child: Optional[str]) -> None:
         if from_child is None:
             row.local_reads += 1
         else:
@@ -118,10 +120,10 @@ class _Site:
         origin, target = self.pending.pop(qid)
         if origin == "child":
             self.system.transport.send(
-                self.id, target, MessageKind.RESPONSE, env.payload
+                self.id, cast(str, target), MessageKind.RESPONSE, env.payload
             )
         else:
-            target(env.payload["estimates"])
+            cast(Callable[[Dict[int, float]], None], target)(env.payload["estimates"])
 
     def apply_update(self, seg: Segment, rng: Tuple[float, float]) -> None:
         """Figure 8(a) update branch: enclosure-gated cascade."""
@@ -159,7 +161,7 @@ class AsyncSwatAsr:
         window_size: int,
         latency: float = 0.0,
         sim: Optional[Simulator] = None,
-    ):
+    ) -> None:
         self.topology = topology
         self.window_size = window_size
         self.sim = sim or Simulator()
@@ -174,7 +176,7 @@ class AsyncSwatAsr:
         self.query_latencies: List[float] = []
 
     @property
-    def stats(self):
+    def stats(self) -> "MessageStats":
         return self.transport.stats
 
     @property
@@ -190,7 +192,7 @@ class AsyncSwatAsr:
 
     # ------------------------------------------------------------- data path
 
-    def on_data(self, value: float, now: float = None) -> None:
+    def on_data(self, value: float, now: Optional[float] = None) -> None:
         """A stream arrival at the source; update cascades are real messages."""
         if now is not None and now > self.sim.now:
             self.sim.run_until(now)
@@ -205,7 +207,9 @@ class AsyncSwatAsr:
 
     # ------------------------------------------------------------ query path
 
-    def on_query(self, client: str, query: InnerProductQuery, now: float = None) -> float:
+    def on_query(
+        self, client: str, query: InnerProductQuery, now: Optional[float] = None
+    ) -> float:
         """Issue a query and wait (in virtual time) for its answer.
 
         Returns the answer and records the measured response latency in
@@ -232,7 +236,7 @@ class AsyncSwatAsr:
 
     # ------------------------------------------------------------- phase end
 
-    def on_phase_end(self, now: float = None) -> None:
+    def on_phase_end(self, now: Optional[float] = None) -> None:
         """Figure 8(b) with real messages; drains between steps so tests see
         effects in the synchronous implementation's order at zero latency."""
         if now is not None and now > self.sim.now:

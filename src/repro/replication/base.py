@@ -19,6 +19,7 @@ tolerances ``t_i = delta / (M * W[i])`` — the unique per-item split with
 from __future__ import annotations
 
 import abc
+
 from ..core.queries import InnerProductQuery
 from ..metrics.error import GroundTruthWindow
 from ..network.messages import MessageStats
@@ -55,7 +56,7 @@ class ReplicationProtocol(abc.ABC):
 
     name = "base"
 
-    def __init__(self, topology: Topology, window_size: int):
+    def __init__(self, topology: Topology, window_size: int) -> None:
         self.topology = topology
         self.window_size = window_size
         # Registry mirror is labelled with the protocol's figure-legend name,

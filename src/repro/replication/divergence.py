@@ -97,7 +97,7 @@ class _ClientState:
 
     __slots__ = ("lo", "hi", "reads")
 
-    def __init__(self, n_items: int, max_range: float):
+    def __init__(self, n_items: int, max_range: float) -> None:
         # Width-M intervals behave exactly like "not cached": every write
         # stays inside, every read with tolerance < M misses.
         self.lo = np.zeros(n_items, dtype=np.float64)
@@ -119,7 +119,7 @@ class DivergenceCaching(ReplicationProtocol):
         window_size: int,
         value_range: Tuple[float, float] = (0.0, 100.0),
         control_cost: float = 1.0,
-    ):
+    ) -> None:
         super().__init__(topology, window_size)
         lo, hi = value_range
         if hi <= lo:

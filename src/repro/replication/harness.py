@@ -31,6 +31,17 @@ PROTOCOLS = ("SWAT-ASR", "DC", "APS")
 
 
 @dataclass
+class _RunState:
+    """Mutable measurement accumulators shared by the periodic tasks."""
+
+    queries: int = 0
+    arrivals: int = 0
+    err_sum: float = 0.0
+    hops_sum: int = 0
+    measuring: bool = False
+
+
+@dataclass
 class ReplicationConfig:
     """Parameters of one replication simulation run.
 
@@ -51,7 +62,7 @@ class ReplicationConfig:
     value_range: Tuple[float, float] = (0.0, 100.0)
     seed: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if min(self.data_period, self.query_period, self.phase_period) <= 0:
             raise ValueError("periods must be positive")
         if self.measure_time <= 0:
@@ -113,8 +124,7 @@ def run_replication(
         raise ValueError("stream must be non-empty")
     sim = Simulator()
     topo = protocol.topology
-    state = {"queries": 0, "arrivals": 0, "err_sum": 0.0, "hops_sum": 0,
-             "measuring": False}
+    state = _RunState()
 
     # Run-scoped metrics (created up front so even a query-free run exports
     # the series); observed only during the measurement phase so warm-up
@@ -131,7 +141,7 @@ def run_replication(
 
     def on_data(tick: int) -> None:
         protocol.on_data(float(stream[tick % stream.size]), now=sim.now)
-        state["arrivals"] += 1
+        state.arrivals += 1
 
     workloads = {
         client: RandomWorkload(
@@ -150,16 +160,16 @@ def run_replication(
             if not protocol.is_warm:
                 return
             query = workloads[client].next()
-            if latency_hist is not None and state["measuring"]:
+            if latency_hist is not None and hops_hist is not None and state.measuring:
                 with latency_hist.time():
                     answer = protocol.on_query(client, query, now=sim.now)
                 hops_hist.observe(protocol.last_query_hops)
             else:
                 answer = protocol.on_query(client, query, now=sim.now)
             truth = query.evaluate(protocol.window.values_newest_first())
-            state["queries"] += 1
-            state["err_sum"] += abs(answer - truth)
-            state["hops_sum"] += protocol.last_query_hops
+            state.queries += 1
+            state.err_sum += abs(answer - truth)
+            state.hops_sum += protocol.last_query_hops
 
         return act
 
@@ -179,28 +189,28 @@ def run_replication(
     # so the registry scope starts the measurement phase clean too.
     sim.run_until(fill_time + config.warmup_time)
     protocol.stats.reset()
-    state["queries"] = 0
-    state["err_sum"] = 0.0
-    state["hops_sum"] = 0
-    state["measuring"] = True
-    baseline = obs.metrics_snapshot() if obs_on else None
+    state.queries = 0
+    state.err_sum = 0.0
+    state.hops_sum = 0
+    state.measuring = True
+    baseline: Optional[dict] = obs.metrics_snapshot() if obs_on else None
     sim.run_until(fill_time + config.warmup_time + config.measure_time)
 
     meta: Dict[str, object] = {}
-    if obs_on:
+    if baseline is not None:
         # Everything the registry accrued during measurement only (warm-up
         # arrivals/messages excluded by construction).
         meta["metrics"] = obs.snapshot_delta(obs.metrics_snapshot(), baseline)
 
-    n_queries = state["queries"]
+    n_queries = state.queries
     return ReplicationResult(
         protocol=protocol.name,
         total_messages=protocol.stats.total,
         by_kind=protocol.stats.snapshot(),
         n_queries=n_queries,
-        n_arrivals=state["arrivals"],
-        mean_abs_error=state["err_sum"] / max(n_queries, 1),
+        n_arrivals=state.arrivals,
+        mean_abs_error=state.err_sum / max(n_queries, 1),
         approximations=protocol.approximation_count(),
-        mean_query_hops=state["hops_sum"] / max(n_queries, 1),
+        mean_query_hops=state.hops_sum / max(n_queries, 1),
         meta=meta,
     )

@@ -18,13 +18,16 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 from ..obs.trace import EventSpan, Tracer
 
 __all__ = ["Simulator"]
 
 Action = Callable[[], None]
+
+# (due time, FIFO tie-break, action, trace label, scheduled-at time)
+_QueueEntry = Tuple[float, int, Action, Optional[str], float]
 
 
 def _label_of(action: Action) -> str:
@@ -39,9 +42,9 @@ class Simulator:
     keeps runs reproducible.  Time is a float in seconds of virtual time.
     """
 
-    def __init__(self, tracer: Optional[Tracer] = None):
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self._now = 0.0
-        self._queue: list = []
+        self._queue: List[_QueueEntry] = []
         self._counter = itertools.count()
         self._events_run = 0
         #: Optional structured-trace sink; ``None`` disables tracing.

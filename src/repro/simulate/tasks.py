@@ -24,7 +24,7 @@ class PeriodicTask:
         action: Callable[[int], None],
         start_at: Optional[float] = None,
         max_ticks: Optional[int] = None,
-    ):
+    ) -> None:
         if period <= 0:
             raise ValueError("period must be positive")
         self.sim = sim

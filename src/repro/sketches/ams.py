@@ -37,7 +37,7 @@ class AmsSketch:
         Seeds the 4-wise independent hash coefficients.
     """
 
-    def __init__(self, width: int = 16, depth: int = 5, seed: Optional[int] = 0):
+    def __init__(self, width: int = 16, depth: int = 5, seed: Optional[int] = 0) -> None:
         if width < 1 or depth < 1:
             raise ValueError("width and depth must be >= 1")
         self.width = width

@@ -27,7 +27,7 @@ __all__ = ["ExponentialHistogram", "EhSum"]
 class _Bucket:
     __slots__ = ("timestamp", "size")
 
-    def __init__(self, timestamp: int, size: int):
+    def __init__(self, timestamp: int, size: int) -> None:
         self.timestamp = timestamp  # arrival time of the newest 1 it counts
         self.size = size
 
@@ -62,7 +62,7 @@ def _cascade_merge(buckets: List[_Bucket], max_same_size: int) -> None:
 class _EhBase:
     """Shared expiry/merge machinery for the count and sum variants."""
 
-    def __init__(self, window_size: int, eps: float = 0.1):
+    def __init__(self, window_size: int, eps: float = 0.1) -> None:
         if window_size < 1:
             raise ValueError("window_size must be >= 1")
         if not 0 < eps <= 1:
@@ -138,7 +138,7 @@ class EhSum(_EhBase):
     invariant — ``O(max_value)`` amortized work per arrival.
     """
 
-    def __init__(self, window_size: int, eps: float = 0.1, max_value: int = 100):
+    def __init__(self, window_size: int, eps: float = 0.1, max_value: int = 100) -> None:
         super().__init__(window_size, eps)
         if max_value < 1:
             raise ValueError("max_value must be >= 1")

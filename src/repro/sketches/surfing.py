@@ -19,7 +19,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -36,7 +36,7 @@ class _Detail:
 
     __slots__ = ("block", "start", "value")
 
-    def __init__(self, block: int, start: int, value: float):
+    def __init__(self, block: int, start: int, value: float) -> None:
         self.block = block
         self.start = start
         self.value = value
@@ -52,7 +52,7 @@ class SurfingWavelets:
         frontier approximations are always retained, as in the paper).
     """
 
-    def __init__(self, n_coefficients: int = 32):
+    def __init__(self, n_coefficients: int = 32) -> None:
         if n_coefficients < 1:
             raise ValueError("n_coefficients must be >= 1")
         self.budget = n_coefficients
@@ -116,7 +116,7 @@ class SurfingWavelets:
 
     # ---------------------------------------------------------------- queries
 
-    def estimates(self, indices) -> np.ndarray:
+    def estimates(self, indices: Sequence[int]) -> np.ndarray:
         """Approximate stream values at newest-first indices (0 = newest)."""
         indices = list(indices)
         bad = [i for i in indices if not 0 <= i < self._time]

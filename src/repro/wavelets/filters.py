@@ -45,7 +45,7 @@ class WaveletFilter:
         Decomposition low-pass taps ``h`` (length must be even).
     """
 
-    def __init__(self, name: str, lowpass: np.ndarray):
+    def __init__(self, name: str, lowpass: np.ndarray) -> None:
         h = np.asarray(lowpass, dtype=np.float64)
         if h.ndim != 1 or h.size == 0 or h.size % 2 != 0:
             raise ValueError(f"low-pass filter must be 1-D of even length, got shape {h.shape}")

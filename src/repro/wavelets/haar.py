@@ -19,6 +19,7 @@ and costs ``O(k)``:
 from __future__ import annotations
 
 import math
+from typing import Tuple
 
 import numpy as np
 
@@ -153,7 +154,7 @@ def sparse_combine(
     newer_pos: np.ndarray,
     newer_val: np.ndarray,
     k: int,
-):
+) -> Tuple[np.ndarray, np.ndarray]:
     """Combine two largest-k sparse Haar summaries into the parent's.
 
     Children store (positions, values) of their retained coefficients in the
@@ -197,7 +198,7 @@ def sparse_reconstruct(positions: np.ndarray, values: np.ndarray, length: int) -
     return haar_reconstruct(dense, length)
 
 
-def largest_coefficients(flat: np.ndarray, k: int):
+def largest_coefficients(flat: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
     """Top-k selection of a dense flat vector (approximation always kept)."""
     flat = np.asarray(flat, dtype=np.float64)
     if k < 1:

@@ -5,9 +5,20 @@ turns it on goes through ``obs_registry`` so the global switch and registry
 are restored afterwards and tests stay order-independent.
 """
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro import obs
+
+# One fixed profile for every property/stateful test: no per-example deadline
+# (the invariant-checked machines do real work per step) and derandomized
+# example generation so CI failures reproduce locally byte-for-byte.
+hypothesis_settings.register_profile(
+    "repro-ci", deadline=None, derandomize=True, print_blob=True
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro-ci"))
 
 
 @pytest.fixture()

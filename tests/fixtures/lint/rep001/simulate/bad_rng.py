@@ -1,0 +1,17 @@
+"""REP001 fixture: unseeded module-level RNG calls in a simulate/ path."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()  # REP001
+
+
+def burst(n: int) -> "np.ndarray":
+    return np.random.poisson(3.0, size=n)  # REP001
+
+
+def shuffle(items: list) -> None:
+    random.shuffle(items)  # REP001

@@ -1,0 +1,14 @@
+"""REP001 clean fixture: seeded Generator construction and use are legal."""
+
+import random
+
+import numpy as np
+
+
+def make_stream(seed: int) -> "np.ndarray":
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=8)
+
+
+def make_local(seed: int) -> float:
+    return random.Random(seed).random()

@@ -1,0 +1,12 @@
+"""REP002 fixture: wall-clock reads inside a simulation path."""
+
+import time
+from datetime import datetime
+
+
+def handle_event() -> float:
+    return time.time()  # REP002
+
+
+def stamp() -> str:
+    return datetime.now().isoformat()  # REP002

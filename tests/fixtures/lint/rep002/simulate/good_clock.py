@@ -1,0 +1,8 @@
+"""REP002 clean fixture: duration measurement via perf_counter is legal."""
+
+import time
+
+
+def timed() -> float:
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0

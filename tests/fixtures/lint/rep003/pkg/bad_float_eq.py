@@ -1,0 +1,9 @@
+"""REP003 fixture: float equality on coefficient/precision values."""
+
+
+def converged(precision: float) -> bool:
+    return precision == 0.25  # REP003 (named operand + nonzero literal)
+
+
+def same_coeff(coeff_a: float, b: float) -> bool:
+    return coeff_a != b  # REP003 (coefficient-named operand)

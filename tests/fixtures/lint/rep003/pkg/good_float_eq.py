@@ -1,0 +1,15 @@
+"""REP003 clean fixture: 0.0-sentinel checks and tolerance compares are legal."""
+
+import math
+
+
+def cancelled(value: float) -> bool:
+    return value == 0.0  # exact-zero sentinel is a legitimate IEEE idiom
+
+
+def close(precision: float, target: float) -> bool:
+    return math.isclose(precision, target, rel_tol=1e-9)
+
+
+def within(width: float, tol: float) -> bool:
+    return abs(width - tol) <= 1e-12

@@ -1,0 +1,8 @@
+"""REP004 fixture: unguarded obs instrumentation in a hot-path directory."""
+
+from repro import obs
+
+
+def update() -> None:
+    obs.counter("swat.updates").inc()  # REP004
+    obs.histogram("swat.latency").observe(0.001)  # REP004

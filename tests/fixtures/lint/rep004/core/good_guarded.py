@@ -1,0 +1,20 @@
+"""REP004 clean fixture: the three accepted guard shapes."""
+
+from repro import obs
+
+
+def update_if_guard() -> None:
+    if obs.ENABLED:
+        obs.counter("swat.updates").inc()
+
+
+def update_local_mirror() -> None:
+    obs_on = obs.ENABLED
+    if obs_on:
+        obs.gauge("swat.depth").set(3)
+
+
+def update_ternary() -> None:
+    hist = obs.histogram("swat.latency") if obs.ENABLED else None
+    if hist is not None:
+        hist.observe(0.001)

@@ -1,0 +1,9 @@
+"""REP005 fixture: mutable default arguments."""
+
+
+def collect(items=[]):  # REP005
+    return items
+
+
+def index(table={}, *, seen=set()):  # REP005 x2
+    return table, seen

@@ -1,0 +1,9 @@
+"""REP005 clean fixture: None default plus in-function construction."""
+
+from typing import List, Optional
+
+
+def collect(items: Optional[List[int]] = None) -> List[int]:
+    if items is None:
+        items = []
+    return items

@@ -1,0 +1,173 @@
+"""The repo-specific AST linter: every REP rule fires on its bad fixture,
+stays quiet on the matching clean fixture, and the real tree is clean."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.devtools.lint import RULES, check_source, lint_file, lint_paths
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+FIXTURES = os.path.join(HERE, "fixtures", "lint")
+
+
+def codes_in(path):
+    return [f.code for f in lint_file(path)]
+
+
+def fixture(*parts):
+    return os.path.join(FIXTURES, *parts)
+
+
+class TestRuleFixtures:
+    """Each rule proves it fires (bad fixture) and doesn't overfire (good)."""
+
+    @pytest.mark.parametrize(
+        "rule,bad,expected_count",
+        [
+            ("REP001", fixture("rep001", "simulate", "bad_rng.py"), 3),
+            ("REP002", fixture("rep002", "simulate", "bad_clock.py"), 2),
+            ("REP003", fixture("rep003", "pkg", "bad_float_eq.py"), 2),
+            ("REP004", fixture("rep004", "core", "bad_unguarded.py"), 2),
+            ("REP005", fixture("rep005", "pkg", "bad_mutable_default.py"), 3),
+        ],
+    )
+    def test_rule_fires_on_bad_fixture(self, rule, bad, expected_count):
+        codes = codes_in(bad)
+        assert codes == [rule] * expected_count
+
+    @pytest.mark.parametrize(
+        "good",
+        [
+            fixture("rep001", "simulate", "good_rng.py"),
+            fixture("rep002", "simulate", "good_clock.py"),
+            fixture("rep003", "pkg", "good_float_eq.py"),
+            fixture("rep004", "core", "good_guarded.py"),
+            fixture("rep005", "pkg", "good_mutable_default.py"),
+        ],
+    )
+    def test_rule_quiet_on_good_fixture(self, good):
+        assert codes_in(good) == []
+
+    def test_findings_carry_locations_and_render(self):
+        findings = lint_file(fixture("rep005", "pkg", "bad_mutable_default.py"))
+        assert all(f.line > 0 for f in findings)
+        rendered = findings[0].render()
+        assert "REP005" in rendered and ":" in rendered
+
+
+class TestScoping:
+    """Directory-scoped rules only apply inside their scope directories."""
+
+    def test_rep001_ignores_out_of_scope_paths(self):
+        src = "import random\nx = random.random()\n"
+        assert check_source(src, "pkg/util/helpers.py") == []
+        scoped = check_source(src, "pkg/simulate/helpers.py")
+        assert [f.code for f in scoped] == ["REP001"]
+
+    def test_rep002_allows_wall_clock_outside_event_paths(self):
+        src = "import time\nt = time.time()\n"
+        assert check_source(src, "pkg/experiments/report.py") == []
+        assert [f.code for f in check_source(src, "pkg/network/link.py")] == ["REP002"]
+
+    def test_rep003_and_rep005_apply_everywhere(self):
+        src = "def f(eps, xs=[]):\n    return eps == 0.1\n"
+        codes = sorted(f.code for f in check_source(src, "anything/at/all.py"))
+        assert codes == ["REP003", "REP005"]
+
+    def test_select_restricts_rules(self):
+        src = "def f(eps, xs=[]):\n    return eps == 0.1\n"
+        only = check_source(src, "m.py", select=["REP005"])
+        assert [f.code for f in only] == ["REP005"]
+
+
+class TestRuleSemantics:
+    def test_rep001_allows_seeded_constructors(self):
+        src = (
+            "import numpy as np\nimport random\n"
+            "rng = np.random.default_rng(7)\n"
+            "r = random.Random(7)\n"
+            "ss = np.random.SeedSequence(7)\n"
+        )
+        assert check_source(src, "pkg/data/gen.py") == []
+
+    def test_rep002_allows_perf_counter(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert check_source(src, "pkg/simulate/events.py") == []
+
+    def test_rep003_exempts_zero_literal(self):
+        src = "def f(v):\n    return v == 0.0\n"
+        assert check_source(src, "m.py") == []
+
+    def test_rep003_flags_int_context_only_for_named_operands(self):
+        # integer equality is fine; named precision operands are not
+        assert check_source("def f(n):\n    return n == 3\n", "m.py") == []
+        bad = check_source("def f(width):\n    return width == 3\n", "m.py")
+        assert [f.code for f in bad] == ["REP003"]
+
+    def test_rep004_accepts_nested_guard(self):
+        src = (
+            "from repro import obs\n"
+            "def f(x):\n"
+            "    if obs.ENABLED:\n"
+            "        if x:\n"
+            "            obs.counter('c').inc()\n"
+        )
+        assert check_source(src, "pkg/core/swat.py") == []
+
+
+class TestDriver:
+    def test_lint_paths_walks_directories(self):
+        findings = lint_paths([FIXTURES])
+        codes = {f.code for f in findings}
+        assert codes == {"REP001", "REP002", "REP003", "REP004", "REP005"}
+
+    def test_lint_paths_missing_target_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([os.path.join(FIXTURES, "does-not-exist")])
+
+    def test_src_tree_is_clean(self):
+        assert lint_paths([os.path.join(REPO, "src")]) == []
+
+    def test_rule_registry_is_complete(self):
+        assert [r.code for r in RULES] == [
+            "REP001", "REP002", "REP003", "REP004", "REP005",
+        ]
+
+
+class TestEntryPoints:
+    def test_python_m_tools_lint(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.lint", "src"],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_python_m_tools_lint_reports_findings(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.lint",
+             fixture("rep005", "pkg", "bad_mutable_default.py")],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "REP005" in proc.stdout
+
+    def test_repro_check_subcommand(self):
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "check", "src"],
+            cwd=REPO, capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_list_rules(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.lint", "--list-rules"],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert code in proc.stdout

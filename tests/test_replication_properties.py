@@ -56,7 +56,7 @@ class TestPrecisionContracts:
     @settings(max_examples=25, deadline=None)
     def test_asr_never_violates_precision(self, steps):
         topo = Topology.paper_example()
-        asr = SwatAsr(topo, N)
+        asr = SwatAsr(topo, N, check_invariants=True)
         __, worst = drive(asr, steps, topo.clients)
         assert worst <= 1e-9
 
@@ -83,7 +83,7 @@ class TestCacheValidity:
     def test_asr_cached_ranges_enclose_truth(self, steps):
         """Every cached range at every site encloses the segment's true range."""
         topo = Topology.paper_example()
-        asr = SwatAsr(topo, N)
+        asr = SwatAsr(topo, N, check_invariants=True)
         rng_values = iter(np.random.default_rng(1).uniform(0, 100, 2000))
         for __ in range(N):
             asr.on_data(next(rng_values))

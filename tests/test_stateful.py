@@ -19,7 +19,7 @@ class SwatMachine(RuleBasedStateMachine):
 
     @initialize()
     def setup(self):
-        self.tree = Swat(WINDOW)
+        self.tree = Swat(WINDOW, check_invariants=True)
         self.growing = GrowingSwat()
         self.truth = GroundTruthWindow(WINDOW)
         self.history = []

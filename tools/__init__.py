@@ -1,0 +1,1 @@
+"""Repository developer tools (not part of the installed ``repro`` package)."""

@@ -1,0 +1,21 @@
+"""``python -m tools.lint`` — thin wrapper over :mod:`repro.devtools.lint`.
+
+The engine lives inside the installed package so the ``repro check`` CLI
+subcommand can run it too; this package only makes it reachable from a repo
+checkout without installing anything (it adds ``src/`` to ``sys.path`` when
+``repro`` is not already importable).
+"""
+
+import os
+import sys
+
+try:
+    from repro.devtools.lint import Finding, lint_paths, main
+except ModuleNotFoundError:  # repo checkout without an installed package
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+    from repro.devtools.lint import Finding, lint_paths, main
+
+__all__ = ["Finding", "lint_paths", "main"]
