@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from .node import SwatNode
 
 __all__ = ["CoverageError", "Cover", "build_cover"]
@@ -73,28 +75,40 @@ def build_cover(
     CoverageError
         If some index is uncovered and extrapolation is disabled.
     """
-    wanted = sorted(set(int(i) for i in indices))
+    wanted = np.unique(np.fromiter((int(i) for i in indices), dtype=np.int64))
     cover = Cover()
-    uncovered = set(wanted)
+    # A node's segment is a contiguous index range, so against the sorted
+    # index array each scan step is two binary searches plus a mask slice
+    # instead of a per-index Python set walk.
+    open_mask = np.ones(wanted.size, dtype=bool)
+    n_open = int(wanted.size)
     for node in nodes:
-        if not uncovered:
+        if not n_open:
             break
         if not node.is_filled:
             continue
         lo, hi = node.relative_segment(now)
-        hit = [i for i in uncovered if lo <= i <= hi]
-        for i in hit:
-            cover.add(node, i)
-            uncovered.discard(i)
-    if uncovered:
+        a = int(np.searchsorted(wanted, lo, side="left"))
+        b = int(np.searchsorted(wanted, hi, side="right"))
+        if a >= b:
+            continue
+        hit_mask = open_mask[a:b]
+        if not hit_mask.any():
+            continue
+        hit = wanted[a:b][hit_mask]
+        cover.assignments.setdefault(node, []).extend(hit.tolist())
+        open_mask[a:b] = False
+        n_open -= int(hit.size)
+    if n_open:
+        uncovered = [int(i) for i in wanted[open_mask]]
         if not allow_extrapolation:
             raise CoverageError(
-                f"window indices {sorted(uncovered)} not covered by any filled node"
+                f"window indices {uncovered} not covered by any filled node"
             )
         filled = [n for n in nodes if n.is_filled]
         if not filled:
             raise CoverageError("tree holds no approximations yet")
-        for i in sorted(uncovered):
+        for i in uncovered:
             node = min(filled, key=lambda n: _segment_distance(n, i, now))
             cover.add(node, i)
             cover.extrapolated.append(i)

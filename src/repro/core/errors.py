@@ -1,4 +1,5 @@
-"""Closed-form error bounds from Section 2.6 of the paper.
+"""Closed-form error bounds from Section 2.6 of the paper, plus shared
+stream-input validation.
 
 The analysis assumes a linear-drift stream (each arrival differs from the
 previous one by ``eps``) and a 1-coefficient Haar tree, and bounds the
@@ -11,20 +12,49 @@ weighted error contributed by a single level-``l`` node to a query:
 
 These are exposed both for documentation and as oracles for the empirical
 tests in ``tests/test_error_bounds.py``.
+
+:func:`require_finite` is the one finiteness gate every ingest path shares:
+scalar callers (``Swat.update``, ``PrefixStats.update``) pay a single
+``math.isfinite``, while the batched ingest paths validate a whole block with
+one ``np.isfinite(...).all()``.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Union
+
+import numpy as np
 
 __all__ = [
+    "require_finite",
     "exponential_level_bound",
     "exponential_query_bound",
     "linear_level_bound",
     "linear_query_bound",
     "drift_segment_errors",
 ]
+
+
+def require_finite(
+    values: Union[float, int, np.ndarray], what: str = "stream values"
+) -> None:
+    """Raise :exc:`ValueError` unless every value is finite.
+
+    Scalars take the ``math.isfinite`` fast path (no array allocation on the
+    per-arrival hot paths); anything array-like is validated in one
+    vectorized ``np.isfinite`` sweep, naming the first offender.
+    """
+    if isinstance(values, (float, int)):
+        if math.isfinite(values):
+            return
+        raise ValueError(f"{what} must be finite, got {float(values)!r}")
+    arr = np.asarray(values, dtype=np.float64)
+    finite = np.isfinite(arr)
+    if bool(finite.all()):
+        return
+    bad = float(arr[~finite].flat[0])
+    raise ValueError(f"{what} must be finite, got {bad!r}")
 
 
 def exponential_level_bound(eps: float, level: int) -> float:

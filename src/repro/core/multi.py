@@ -12,7 +12,7 @@ correlation monitoring costs ``O(k log N)`` memory per stream instead of
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -86,8 +86,60 @@ class StreamEnsemble:
             self._trees[name].update(float(value))
 
     def extend(self, rows: Iterable[Mapping[str, float]]) -> None:
-        for row in rows:
-            self.update(row)
+        """Ingest many synchronized ticks given row-wise (``{name: value}``).
+
+        Rows are transposed into per-stream columns so each tree ingests its
+        whole column through :meth:`Swat.extend`'s batched fast path; the
+        per-tick validation of :meth:`update` still applies to every row.
+        """
+        materialized = list(rows)
+        if not materialized:
+            return
+        registered = set(self._trees)
+        for row in materialized:
+            missing = registered - set(row)
+            if missing:
+                raise ValueError(f"missing values for streams {sorted(missing)}")
+            unknown = set(row) - registered
+            if unknown:
+                raise KeyError(f"unknown streams {sorted(unknown)}")
+        columns = {
+            name: np.fromiter(
+                (float(row[name]) for row in materialized),
+                dtype=np.float64,
+                count=len(materialized),
+            )
+            for name in self._trees
+        }
+        self.extend_columns(columns)
+
+    def extend_columns(self, columns: Mapping[str, Sequence[float]]) -> None:
+        """Ingest a block of synchronized ticks given column-wise.
+
+        ``columns`` maps every registered stream to an equal-length block of
+        values (tick ``i`` of each block is one synchronized row).  The trees
+        are independent, so each column goes straight through the batched
+        :meth:`Swat.extend` — the natural layout for bulk replay from
+        columnar sources.
+        """
+        missing = set(self._trees) - set(columns)
+        if missing:
+            raise ValueError(f"missing values for streams {sorted(missing)}")
+        unknown = set(columns) - set(self._trees)
+        if unknown:
+            raise KeyError(f"unknown streams {sorted(unknown)}")
+        blocks = {
+            name: np.asarray(col, dtype=np.float64).reshape(-1)
+            for name, col in columns.items()
+        }
+        lengths = {b.size for b in blocks.values()}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"column lengths differ: {sorted(len(blocks[n]) for n in sorted(blocks))} "
+                "— synchronized streams need one value per tick for every stream"
+            )
+        for name, block in blocks.items():
+            self._trees[name].extend(block)
 
     # ----------------------------------------------------------- correlation
 

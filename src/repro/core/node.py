@@ -30,9 +30,29 @@ class SwatNode:
     index (1-based) of the *newest* value in the segment; because level-``l``
     nodes refresh only every ``2^l`` arrivals, the segment drifts into the
     past between refreshes — exactly the behaviour of Figure 2.
+
+    Queries reconstruct a node's segment far more often than its contents
+    change (the shift pipeline refreshes level ``l`` once per ``2^l``
+    arrivals while every cover touching the node re-runs the inverse
+    transform), so :meth:`reconstruct` memoizes its result.  The cache is
+    keyed by :attr:`version`, a counter bumped on every content change
+    (:meth:`set_contents` and :meth:`copy_from`): a stale cache can never be
+    served after a shift, even though shifted nodes share coefficient arrays
+    by reference.  Cached reconstructions are marked read-only so accidental
+    mutation of a shared array fails loudly instead of corrupting answers.
     """
 
-    __slots__ = ("level", "role", "coeffs", "end_time", "deviation", "positions")
+    __slots__ = (
+        "level",
+        "role",
+        "coeffs",
+        "end_time",
+        "deviation",
+        "positions",
+        "version",
+        "_recon",
+        "_recon_wavelet",
+    )
 
     def __init__(self, level: int, role: str) -> None:
         self.level = level
@@ -45,6 +65,11 @@ class SwatNode:
         # Flat positions of the retained coefficients for largest-k trees;
         # None means the dense first-k layout.
         self.positions: Optional[np.ndarray] = None
+        # Content-change counter; every set_contents/copy_from bumps it so
+        # caches keyed on (node, version) can never alias stale contents.
+        self.version: int = 0
+        self._recon: Optional[np.ndarray] = None
+        self._recon_wavelet: Optional[str] = None
 
     @property
     def segment_length(self) -> int:
@@ -99,6 +124,9 @@ class SwatNode:
         self.end_time = end_time
         self.deviation = deviation
         self.positions = positions
+        self.version += 1
+        self._recon = None
+        self._recon_wavelet = None
 
     def copy_from(self, other: "SwatNode") -> None:
         """The shift assignment ``contents(self) := contents(other)``."""
@@ -106,21 +134,36 @@ class SwatNode:
         self.end_time = other.end_time
         self.deviation = other.deviation
         self.positions = other.positions
+        self.version += 1
+        # Identical contents reconstruct identically, so the shift can adopt
+        # the donor's cached reconstruction instead of invalidating; the
+        # version bump still severs any external (node, version) cache keys.
+        self._recon = other._recon
+        self._recon_wavelet = other._recon_wavelet
 
     def reconstruct(self, wavelet: str = "haar") -> np.ndarray:
         """Approximate segment values (oldest-first) via ``level+1`` inverse transforms.
 
         Missing detail coefficients are zero, per the query handler of
-        Figure 3(b).
+        Figure 3(b).  The result is cached until the node's contents change
+        and returned as a read-only array — copy before mutating.
         """
+        cached = self._recon
+        if cached is not None and self._recon_wavelet == wavelet:
+            return cached
         coeffs = self.coeffs
         if coeffs is None:
             raise ValueError(f"node {self!r} holds no approximation yet")
         if self.positions is not None:
-            return sparse_reconstruct(self.positions, coeffs, self.segment_length)
-        if wavelet in ("haar", "db1"):
-            return haar_reconstruct(coeffs, self.segment_length)
-        return _generic_reconstruct(coeffs, self.segment_length, wavelet)
+            out = sparse_reconstruct(self.positions, coeffs, self.segment_length)
+        elif wavelet in ("haar", "db1"):
+            out = haar_reconstruct(coeffs, self.segment_length)
+        else:
+            out = _generic_reconstruct(coeffs, self.segment_length, wavelet)
+        out.flags.writeable = False
+        self._recon = out
+        self._recon_wavelet = wavelet
+        return out
 
     def average(self) -> float:
         """Segment mean (meaningful for Haar; it is the k=1 summary of §2.2)."""

@@ -34,6 +34,9 @@ import numpy as np
 from .. import contracts
 from ..obs import metrics as obs
 from ..wavelets.haar import (
+    batch_combine_haar,
+    batch_haar_decompose,
+    batch_leaf_coeffs,
     combine_haar,
     haar_average,
     largest_coefficients,
@@ -42,6 +45,7 @@ from ..wavelets.haar import (
 )
 from ..wavelets.transform import full_decompose, is_power_of_two, truncate
 from .coverage import Cover, build_cover
+from .errors import require_finite
 from .node import Role, SwatNode
 from .queries import InnerProductQuery, RangeQuery
 
@@ -238,8 +242,7 @@ class Swat:
         # pays only the module-attribute checks on this hot path.
         _t0 = time.perf_counter() if obs.ENABLED else None
         value = float(value)
-        if not math.isfinite(value):
-            raise ValueError(f"stream values must be finite, got {value!r}")
+        require_finite(value)
         self._time += 1
         t = self._time
         self._buffer.append(value)
@@ -263,9 +266,176 @@ class Swat:
             obs.histogram("swat.maintenance.latency").observe(time.perf_counter() - _t0)
 
     def extend(self, values: Iterable[float]) -> None:
-        """Ingest many values in arrival order."""
+        """Ingest many values in arrival order.
+
+        Haar trees with first-``k`` selection take the vectorized block
+        cascade of :meth:`_extend_batch` — ``O(B log N)`` NumPy work for a
+        block of ``B`` arrivals, bit-identical to replaying :meth:`update`
+        value by value.  Generic wavelets and largest-``k`` trees fall back
+        to the scalar loop.
+        """
+        if self._is_haar and self.selection == "first":
+            if isinstance(values, np.ndarray):
+                block = np.asarray(values, dtype=np.float64)
+            else:
+                block = np.asarray(list(values), dtype=np.float64)
+            if block.ndim != 1:
+                raise ValueError(
+                    f"extend expects a flat sequence of values, got shape {block.shape}"
+                )
+            self._extend_batch(block)
+            return
         for v in values:
             self.update(v)
+
+    def _extend_batch(self, block: np.ndarray) -> None:
+        """Vectorized Update_Tree over a block of ``B`` arrivals.
+
+        One streaming Haar cascade per block: level ``l``'s refresh outputs
+        inside the block are computed with a single vectorized butterfly
+        over the level below's outputs, and only the last three are
+        materialized into ``L/S/R``.  The first refresh's *older* child may
+        predate the block; it is read from the pre-block ``R`` or ``S``
+        node of the level below (:meth:`_carry_node`) — the tree itself is
+        the inter-block carry state, so blocks of any size compose exactly.
+        Every float operation mirrors the scalar path op for op, so the
+        resulting tree state is bit-identical to a scalar replay.
+        """
+        b = int(block.size)
+        if b == 0:
+            return
+        _t0 = time.perf_counter() if obs.ENABLED else None
+        require_finite(block)
+        t0 = self._time
+        tend = t0 + b
+        m = self.min_level
+        seg = 1 << (m + 1)
+        track = self.track_deviation
+        # Raw history reachable by in-block level-m refreshes: the ring
+        # buffer then the block.  concat[i] arrived at t0 - n_prev + 1 + i.
+        n_prev = len(self._buffer)
+        if n_prev:
+            concat = np.empty(n_prev + b, dtype=np.float64)
+            concat[:n_prev] = np.fromiter(self._buffer, dtype=np.float64, count=n_prev)
+            concat[n_prev:] = block
+        else:
+            concat = block
+        # (level, first refresh time, coeff rows, deviation rows); a level's
+        # refresh at time t produces contents iff t >= 2^{level+1} (its full
+        # segment has been observed) — earlier refreshes only shift empty
+        # nodes, a content no-op the batch path can skip outright.
+        outputs: List[Tuple[int, int, np.ndarray, Optional[np.ndarray]]] = []
+        first_t = max(seg, ((t0 >> m) + 1) << m)
+        if first_t <= tend:
+            count = ((tend - first_t) >> m) + 1
+            times = first_t + ((1 << m) * np.arange(count, dtype=np.int64))
+            devs: Optional[np.ndarray] = None
+            if m == 0:
+                newer_idx = times - t0 + n_prev - 1
+                newer = concat[newer_idx]
+                older = concat[newer_idx - 1]
+                rows = batch_leaf_coeffs(newer, older, self.k)
+                if track:
+                    devs = np.abs(newer - older) / 2.0
+            else:
+                start_idx = times - seg - t0 + n_prev
+                segs = np.lib.stride_tricks.sliding_window_view(concat, seg)[start_idx]
+                rows = batch_haar_decompose(segs)[:, : min(self.k, seg)].copy()
+                if track:
+                    devs = np.abs(segs - segs.mean(axis=1, keepdims=True)).max(axis=1)
+            outputs.append((m, first_t, rows, devs))
+            for level in range(m + 1, self.n_levels):
+                lstep = 1 << level
+                first = max(lstep << 1, ((t0 >> level) + 1) << level)
+                if first > tend:
+                    break  # first-refresh times only grow with the level
+                count = ((tend - first) >> level) + 1
+                times = first + lstep * np.arange(count, dtype=np.int64)
+                _, prev_first, prev_rows, prev_devs = outputs[-1]
+                newer_idx = (times - prev_first) >> (level - 1)
+                newer_rows = prev_rows[newer_idx]
+                carry_t = first - lstep
+                older_devs: Optional[np.ndarray] = None
+                if carry_t > t0:
+                    older_idx = (times - lstep - prev_first) >> (level - 1)
+                    older_rows = prev_rows[older_idx]
+                    if track:
+                        assert prev_devs is not None
+                        older_devs = prev_devs[older_idx]
+                else:
+                    width = prev_rows.shape[1]
+                    older_rows = np.zeros((count, width), dtype=np.float64)
+                    tail_idx = (times[1:] - lstep - prev_first) >> (level - 1)
+                    older_rows[1:] = prev_rows[tail_idx]
+                    carry = self._carry_node(level - 1, carry_t)
+                    assert carry.coeffs is not None
+                    older_rows[0, : min(carry.coeffs.size, width)] = carry.coeffs[:width]
+                    if track:
+                        assert prev_devs is not None and carry.deviation is not None
+                        older_devs = np.empty(count, dtype=np.float64)
+                        older_devs[1:] = prev_devs[tail_idx]
+                        older_devs[0] = carry.deviation
+                rows = batch_combine_haar(older_rows, newer_rows, self.k)
+                devs = None
+                if track:
+                    assert prev_devs is not None and older_devs is not None
+                    newer_devs = prev_devs[newer_idx]
+                    parent_avg = rows[:, 0] / math.sqrt(1 << (level + 1))
+                    child_scale = math.sqrt(1 << level)
+                    devs = np.maximum(
+                        older_devs + np.abs(older_rows[:, 0] / child_scale - parent_avg),
+                        newer_devs + np.abs(newer_rows[:, 0] / child_scale - parent_avg),
+                    )
+                outputs.append((level, first, rows, devs))
+        self._time = tend
+        self._buffer.extend(block.tolist())
+        for level, first, rows, devs in outputs:
+            lv = self._levels[level]
+            count = rows.shape[0]
+            lstep = 1 << level
+            if Role.SHIFT in lv:
+                # Replaying only the tail of the shift pipeline: with count
+                # in-block refreshes the final L/S are the pre-block S/R
+                # (count == 1), the pre-block R plus the first fresh output
+                # (count == 2), or the third/second-newest fresh outputs.
+                if count == 1:
+                    lv[Role.LEFT].copy_from(lv[Role.SHIFT])
+                    lv[Role.SHIFT].copy_from(lv[Role.RIGHT])
+                elif count == 2:
+                    lv[Role.LEFT].copy_from(lv[Role.RIGHT])
+                    _set_from_batch(lv[Role.SHIFT], rows, devs, 0, first, lstep)
+                else:
+                    _set_from_batch(lv[Role.LEFT], rows, devs, count - 3, first, lstep)
+                    _set_from_batch(lv[Role.SHIFT], rows, devs, count - 2, first, lstep)
+            _set_from_batch(lv[Role.RIGHT], rows, devs, count - 1, first, lstep)
+        if self._check_invariants:
+            contracts.check_swat(self)
+        if _t0 is not None:
+            obs.counter("swat.arrivals").inc(b)
+            shifted = 0
+            for level in range(m, self.n_levels):
+                shifted += (tend >> level) - (t0 >> level)
+            if shifted:
+                obs.counter("swat.levels_shifted").inc(shifted)
+            obs.counter("swat.batches").inc()
+            obs.histogram("swat.batch.latency").observe(time.perf_counter() - _t0)
+
+    def _carry_node(self, level: int, end_time: int) -> SwatNode:
+        """Pre-block node of ``level`` whose segment ends at ``end_time``.
+
+        The older half-segment of a block's first level-``l`` refresh
+        predates the block by at most one level-``(l-1)`` shift period, so
+        it is sitting in the level below's ``R`` or ``S`` node (matched by
+        ``end_time``; ``L`` is checked only for defensiveness).
+        """
+        lv = self._levels[level]
+        for role in Role.SCAN_ORDER:
+            node = lv.get(role)
+            if node is not None and node.is_filled and node.end_time == end_time:
+                return node
+        raise AssertionError(
+            f"no level-{level} node ends at t={end_time}; tree state is inconsistent"
+        )
 
     def _fresh_right(
         self, level: int, t: int
@@ -349,23 +519,31 @@ class Swat:
 
     def _estimate(self, indices: List[int]) -> Tuple[np.ndarray, List[SwatNode], int]:
         """Estimates plus the cover diagnostics for the given indices."""
-        bad = [i for i in indices if not 0 <= i < self.size]
-        if bad:
+        idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+        bad_mask = (idx < 0) | (idx >= self.size)
+        if bad_mask.any():
+            bad = [int(i) for i in idx[bad_mask]]
             raise IndexError(
                 f"window indices {bad} out of range [0, {self.size - 1}] "
                 f"(stream has seen {self._time} values)"
             )
-        by_index = self._raw_leaf_values(indices)
-        remaining = [i for i in indices if i not in by_index]
+        values = np.empty(idx.size, dtype=np.float64)
+        n_raw = min(len(self._buffer), 2, self.size) if self.use_raw_leaves else 0
+        raw_mask = idx < n_raw
+        if n_raw:
+            # Window indices 0/1 are the raw leaves d_0 / d_1 of Figure 3(a).
+            d0 = self._buffer[-1]
+            d1 = self._buffer[-2] if n_raw > 1 else 0.0
+            values[raw_mask] = np.where(idx[raw_mask] == 0, d0, d1)
+        rest_mask = ~raw_mask
         nodes_used: List[SwatNode] = []
         n_extrapolated = 0
-        if remaining:
+        if bool(rest_mask.any()):
+            remaining = [int(i) for i in idx[rest_mask]]
             cover = self.cover(remaining)
-            extracted = self._extract(cover, remaining)
-            by_index.update(zip(remaining, extracted))
+            values[rest_mask] = self._extract(cover, idx[rest_mask])
             nodes_used = cover.nodes
             n_extrapolated = len(cover.extrapolated)
-        values = np.array([by_index[i] for i in indices], dtype=np.float64)
         return values, nodes_used, n_extrapolated
 
     def _raw_leaf_values(self, indices: Sequence[int]) -> Dict[int, float]:
@@ -379,20 +557,31 @@ class Swat:
                 out[i] = self._buffer[-1 - i]
         return out
 
-    def _extract(self, cover: Cover, indices: List[int]) -> np.ndarray:
-        by_index: Dict[int, float] = {}
-        extrapolated = set(cover.extrapolated)
+    def _extract(self, cover: Cover, indices: np.ndarray) -> np.ndarray:
+        """Per-index approximations from the cover, aligned with ``indices``.
+
+        Each node's assigned indices map to segment positions with one
+        vectorized expression (the segment is oldest-first, so window index
+        ``i`` sits at ``segment_length - 1 - (i - lo)``); extrapolated
+        indices clamp to the nearest segment end.  Results land in their
+        output slots via a searchsorted scatter — no per-index dict work.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        uniq, inv = np.unique(idx, return_inverse=True)
+        out = np.empty(uniq.size, dtype=np.float64)
+        now = self._time
+        extrapolated = cover.extrapolated
         for node, assigned in cover.assignments.items():
             signal = node.reconstruct(self.wavelet)
-            lo, hi = node.relative_segment(self._time)
-            for i in assigned:
-                if i in extrapolated:
-                    # Clamp to the nearest end of the node's segment.
-                    pos = node.segment_length - 1 if i < lo else 0
-                else:
-                    pos = node.position_of(i, self._time)
-                by_index[i] = float(signal[pos])
-        return np.array([by_index[i] for i in indices], dtype=np.float64)
+            lo, _hi = node.relative_segment(now)
+            a_idx = np.asarray(assigned, dtype=np.int64)
+            pos = node.segment_length - 1 - (a_idx - lo)
+            if extrapolated:
+                ex = np.isin(a_idx, np.asarray(extrapolated, dtype=np.int64))
+                # Clamp to the nearest end of the node's segment.
+                pos = np.where(ex, np.where(a_idx < lo, node.segment_length - 1, 0), pos)
+            out[np.searchsorted(uniq, a_idx)] = signal[pos]
+        return out[inv]
 
     def answer(self, query: InnerProductQuery) -> QueryAnswer:
         """Answer an inner-product (or point) query approximately.
@@ -547,3 +736,20 @@ class Swat:
 def _trailing_zeros(t: int) -> int:
     """Number of trailing zero bits of ``t >= 1`` (the update ruler sequence)."""
     return (t & -t).bit_length() - 1
+
+
+def _set_from_batch(
+    node: SwatNode,
+    rows: np.ndarray,
+    devs: Optional[np.ndarray],
+    i: int,
+    first: int,
+    step: int,
+) -> None:
+    """Materialize batch-cascade output row ``i`` into ``node``."""
+    node.set_contents(
+        rows[i].copy(),
+        first + i * step,
+        None if devs is None else float(devs[i]),
+        None,
+    )

@@ -23,6 +23,12 @@ REP004    ``obs.counter`` / ``obs.gauge`` / ``obs.histogram`` calls in hot
           paths must sit behind an ``ENABLED``-style guard so a metrics-off
           process pays only the attribute check
 REP005    no mutable default arguments (``def f(x=[])``) anywhere
+REP006    no per-value Python loops feeding ``<swat-like>.update(v)`` in
+          library code (``core/``, ``replication/``, ``histogram/``,
+          ``sketches/``, ``network/``) — pass the block to ``.extend``,
+          whose batched ingest path is bit-identical and vectorized
+          (``experiments/`` is exempt: per-arrival timing loops are the
+          point of Figure 6)
 ========  ==================================================================
 
 Run it as ``python -m tools.lint [paths...]`` or ``repro check [paths...]``;
@@ -315,6 +321,62 @@ def _check_rep005(tree: ast.Module, path: str) -> Iterator[Finding]:
                 )
 
 
+# ------------------------------------------------------------------- REP006
+
+#: Receivers that look like SWAT summaries — objects whose ``update`` has a
+#: batched ``extend`` twin.  ``self.update(v)`` inside a fallback loop is
+#: deliberately NOT matched: that loop is usually the scalar path ``extend``
+#: itself dispatches to.
+_BATCH_RECEIVER_RE = re.compile(r"swat|tree", re.IGNORECASE)
+
+
+def _loop_target_names(node: ast.AST) -> frozenset:
+    """Names bound by a loop target / comprehension generators."""
+    targets: List[ast.expr] = []
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        targets.append(node.target)
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+        targets.extend(gen.target for gen in node.generators)
+    names = set()
+    for target in targets:
+        names.update(n.id for n in ast.walk(target) if isinstance(n, ast.Name))
+    return frozenset(names)
+
+
+def _check_rep006(tree: ast.Module, path: str) -> Iterator[Finding]:
+    seen: set = set()
+    for node in ast.walk(tree):
+        loop_names = _loop_target_names(node)
+        if not loop_names:
+            continue
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Call):
+                continue
+            chain = _dotted_chain(inner.func)
+            if len(chain) < 2 or chain[-1] != "update":
+                continue
+            if not _BATCH_RECEIVER_RE.search(chain[-2]):
+                continue
+            arg_names = {
+                n.id
+                for arg in inner.args
+                for n in ast.walk(arg)
+                if isinstance(n, ast.Name)
+            }
+            if not (arg_names & loop_names):
+                continue
+            key = (inner.lineno, inner.col_offset)
+            if key in seen:
+                continue  # nested loops would re-report the same call
+            seen.add(key)
+            yield Finding(
+                path, inner.lineno, inner.col_offset, "REP006",
+                f"per-value Python loop feeding {'.'.join(chain)}(); pass the "
+                "whole block to .extend(values) — the batched ingest path is "
+                "bit-identical and O(B log N) instead of B interpreter trips",
+            )
+
+
 # ------------------------------------------------------------------ registry
 
 RULES: Tuple[Rule, ...] = (
@@ -347,6 +409,12 @@ RULES: Tuple[Rule, ...] = (
         "no mutable default arguments",
         (),
         _check_rep005,
+    ),
+    Rule(
+        "REP006",
+        "no per-value update loops where a batched extend would do",
+        ("core", "replication", "histogram", "sketches", "network"),
+        _check_rep006,
     ),
 )
 
@@ -408,7 +476,7 @@ def lint_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tools.lint",
-        description="Repo-specific AST linter (rules REP001-REP005).",
+        description="Repo-specific AST linter (rules REP001-REP006).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],

@@ -4,13 +4,22 @@ Per the paper's Section 2.7: "the Histogram technique computes only the sum
 and the squared sum with every arrival; the rest of the summary is computed
 at every query".  This class is that per-arrival state: amortized O(1)
 ingestion, O(1) SSE of any window interval.
+
+The backing store is a trio of preallocated NumPy arrays (values and the two
+prefix arrays) written left to right; when the write head reaches the end of
+the allocation the live window is shifted back to the front (the same
+amortized-O(1) compaction the old list-based implementation performed, now a
+single vectorized copy).  :meth:`extend` ingests a whole block with one
+``cumsum`` instead of a Python-level loop.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Iterable, Tuple, Union
 
 import numpy as np
+
+from ..core.errors import require_finite
 
 __all__ = ["PrefixStats"]
 
@@ -28,56 +37,95 @@ class PrefixStats:
         if window_size < 1:
             raise ValueError("window_size must be >= 1")
         self.window_size = window_size
-        self._values: list = []
-        self._csum: list = [0.0]
-        self._csq: list = [0.0]
+        # Write head walks to the end of the allocation before the window is
+        # shifted back to the front: 4 window lengths of slack between
+        # compactions, like the historical list-backed version.
+        self._cap = 5 * window_size + 1
+        self._values = np.empty(self._cap, dtype=np.float64)
+        self._csum = np.zeros(self._cap + 1, dtype=np.float64)
+        self._csq = np.zeros(self._cap + 1, dtype=np.float64)
         self._start = 0  # logical start of the window inside the arrays
+        self._end = 0  # write head: number of filled value slots
 
     def update(self, value: float) -> None:
         """Ingest one arrival: O(1) amortized (occasional compaction)."""
         v = float(value)
-        if v != v or v in (float("inf"), float("-inf")):
-            raise ValueError(f"stream values must be finite, got {v!r}")
-        self._values.append(v)
-        self._csum.append(self._csum[-1] + v)
-        self._csq.append(self._csq[-1] + v * v)
-        if len(self._values) - self._start > self.window_size:
-            self._start += 1
-        if self._start > 4 * self.window_size:
+        require_finite(v)
+        if self._end == self._cap:
             self._compact()
+        e = self._end
+        self._values[e] = v
+        self._csum[e + 1] = self._csum[e] + v
+        self._csq[e + 1] = self._csq[e] + v * v
+        self._end = e + 1
+        if self._end - self._start > self.window_size:
+            self._start += 1
+
+    def extend(self, values: Union[np.ndarray, Iterable[float]]) -> None:
+        """Ingest a block of arrivals with one vectorized cumulative sum."""
+        block = np.asarray(
+            values if isinstance(values, np.ndarray) else list(values),
+            dtype=np.float64,
+        ).reshape(-1)
+        n = block.size
+        if n == 0:
+            return
+        require_finite(block)
+        w = self.window_size
+        if n >= w:
+            # The block alone fills the window: rebuild from its tail.
+            tail = block[n - w :]
+            self._values[:w] = tail
+            self._csum[0] = 0.0
+            self._csq[0] = 0.0
+            np.cumsum(tail, out=self._csum[1 : w + 1])
+            np.cumsum(tail * tail, out=self._csq[1 : w + 1])
+            self._start, self._end = 0, w
+            return
+        if self._end + n > self._cap:
+            self._compact()
+        e = self._end
+        self._values[e : e + n] = block
+        np.cumsum(block, out=self._csum[e + 1 : e + n + 1])
+        self._csum[e + 1 : e + n + 1] += self._csum[e]
+        np.cumsum(block * block, out=self._csq[e + 1 : e + n + 1])
+        self._csq[e + 1 : e + n + 1] += self._csq[e]
+        self._end = e + n
+        self._start = max(self._start, self._end - w)
 
     def _compact(self) -> None:
-        self._values = self._values[self._start :]
+        size = self._end - self._start
+        self._values[:size] = self._values[self._start : self._end]
         base_sum = self._csum[self._start]
         base_sq = self._csq[self._start]
-        self._csum = [c - base_sum for c in self._csum[self._start :]]
-        self._csq = [c - base_sq for c in self._csq[self._start :]]
-        self._start = 0
+        self._csum[: size + 1] = self._csum[self._start : self._end + 1] - base_sum
+        self._csq[: size + 1] = self._csq[self._start : self._end + 1] - base_sq
+        self._start, self._end = 0, size
 
     @property
     def size(self) -> int:
         """Number of values currently in the window."""
-        return len(self._values) - self._start
+        return self._end - self._start
 
     def value_at(self, pos: int) -> float:
         """Window value at oldest-first position ``pos``."""
         if not 0 <= pos < self.size:
             raise IndexError(f"position {pos} out of range [0, {self.size - 1}]")
-        return self._values[self._start + pos]
+        return float(self._values[self._start + pos])
 
     def window(self) -> np.ndarray:
-        """The window contents, oldest-first."""
-        return np.asarray(self._values[self._start :], dtype=np.float64)
+        """The window contents, oldest-first (a copy, safe to mutate)."""
+        return self._values[self._start : self._end].copy()
 
     def interval_sum(self, i: int, j: int) -> float:
         """Sum of positions ``i..j-1`` (half-open, oldest-first)."""
         self._check(i, j)
-        return self._csum[self._start + j] - self._csum[self._start + i]
+        return float(self._csum[self._start + j] - self._csum[self._start + i])
 
     def interval_sq_sum(self, i: int, j: int) -> float:
         """Sum of squares over positions ``i..j-1``."""
         self._check(i, j)
-        return self._csq[self._start + j] - self._csq[self._start + i]
+        return float(self._csq[self._start + j] - self._csq[self._start + i])
 
     def sse(self, i: int, j: int) -> float:
         """Sum of squared errors of approximating positions ``i..j-1`` by their mean."""
@@ -92,8 +140,8 @@ class PrefixStats:
         """``(csum, csq)`` arrays of length ``size + 1`` for vectorised DP."""
         lo = self._start
         hi = lo + self.size
-        csum = np.asarray(self._csum[lo : hi + 1], dtype=np.float64)
-        csq = np.asarray(self._csq[lo : hi + 1], dtype=np.float64)
+        csum = self._csum[lo : hi + 1]
+        csq = self._csq[lo : hi + 1]
         return csum - csum[0], csq - csq[0]
 
     def _check(self, i: int, j: int) -> None:

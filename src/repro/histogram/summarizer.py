@@ -61,8 +61,8 @@ class HistogramSummary:
         self._stats.update(value)
 
     def extend(self, values: Iterable[float]) -> None:
-        for v in values:
-            self.update(v)
+        """Ingest a block of arrivals via the vectorized prefix-sum path."""
+        self._stats.extend(values)
 
     @property
     def size(self) -> int:

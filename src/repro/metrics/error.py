@@ -96,8 +96,16 @@ class GroundTruthWindow:
         self._buf.append(float(value))
 
     def extend(self, values: Sequence[float]) -> None:
-        for v in values:
-            self.update(v)
+        """Ingest a block of arrivals; only the window-sized tail is kept."""
+        block = np.asarray(
+            values if isinstance(values, np.ndarray) else list(values),
+            dtype=np.float64,
+        ).reshape(-1)
+        if block.size > self.window_size:
+            block = block[block.size - self.window_size :]
+        # deque.extend runs at C speed; the float conversion happens once in
+        # the array pass above instead of per value.
+        self._buf.extend(block.tolist())
 
     def __len__(self) -> int:
         return len(self._buf)

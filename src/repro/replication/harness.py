@@ -139,7 +139,20 @@ def run_replication(
         else None
     )
 
+    # Ground-truth window cache: the exact window only changes on arrivals,
+    # yet every query of every client re-copied it.  One snapshot per data
+    # tick serves all queries issued between arrivals.
+    cached_truth: Optional[np.ndarray] = None
+
+    def current_truth_window() -> np.ndarray:
+        nonlocal cached_truth
+        if cached_truth is None:
+            cached_truth = protocol.window.values_newest_first()
+        return cached_truth
+
     def on_data(tick: int) -> None:
+        nonlocal cached_truth
+        cached_truth = None
         protocol.on_data(float(stream[tick % stream.size]), now=sim.now)
         state.arrivals += 1
 
@@ -166,7 +179,7 @@ def run_replication(
                 hops_hist.observe(protocol.last_query_hops)
             else:
                 answer = protocol.on_query(client, query, now=sim.now)
-            truth = query.evaluate(protocol.window.values_newest_first())
+            truth = query.evaluate(current_truth_window())
             state.queries += 1
             state.err_sum += abs(answer - truth)
             state.hops_sum += protocol.last_query_hops

@@ -23,9 +23,13 @@ from typing import Tuple
 
 import numpy as np
 
+from .filters import get_filter
 from .transform import is_power_of_two
 
 __all__ = [
+    "batch_combine_haar",
+    "batch_haar_decompose",
+    "batch_leaf_coeffs",
     "combine_haar",
     "haar_average",
     "haar_reconstruct",
@@ -97,6 +101,90 @@ def combine_haar(older: np.ndarray, newer: np.ndarray, k: int) -> np.ndarray:
     return out
 
 
+def batch_leaf_coeffs(newer: np.ndarray, older: np.ndarray, k: int = 1) -> np.ndarray:
+    """Vectorized :func:`leaf_coeffs`: row ``i`` summarizes ``(older[i], newer[i])``.
+
+    Performs the same two IEEE operations per pair as the scalar helper, so
+    the result is bit-identical to calling ``leaf_coeffs`` row by row.
+    """
+    newer = np.asarray(newer, dtype=np.float64)
+    older = np.asarray(older, dtype=np.float64)
+    width = max(1, min(k, 2))
+    out = np.empty((newer.size, width), dtype=np.float64)
+    out[:, 0] = (older + newer) / _SQRT2
+    if width > 1:
+        out[:, 1] = (older - newer) / _SQRT2
+    return out
+
+
+def batch_combine_haar(older: np.ndarray, newer: np.ndarray, k: int) -> np.ndarray:
+    """Vectorized :func:`combine_haar`: combine ``M`` child pairs at once.
+
+    ``older`` and ``newer`` are ``(M, w)`` matrices of child coefficient rows
+    (``w <= k``); the result is the ``(M, k)`` matrix whose row ``i`` equals
+    ``combine_haar(older[i], newer[i], k)`` bit-for-bit (the butterfly and
+    the band copies are the same elementwise operations, applied per column
+    instead of per row).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    older = np.asarray(older, dtype=np.float64)
+    newer = np.asarray(newer, dtype=np.float64)
+    if older.ndim != 2 or newer.ndim != 2 or older.shape[0] != newer.shape[0]:
+        raise ValueError("older/newer must be (M, w) matrices with equal row counts")
+    m = older.shape[0]
+    zeros = np.zeros(m, dtype=np.float64)
+    a_l = older[:, 0] if older.shape[1] else zeros
+    a_r = newer[:, 0] if newer.shape[1] else zeros
+    out = np.zeros((m, k), dtype=np.float64)
+    out[:, 0] = (a_l + a_r) / _SQRT2
+    if k >= 2:
+        out[:, 1] = (a_l - a_r) / _SQRT2
+    band_start = 2
+    while band_start < k:
+        child_lo = band_start // 2
+        child_hi = band_start
+        for child, offset in ((older, 0), (newer, band_start // 2)):
+            src = child[:, child_lo:child_hi]
+            dst_lo = band_start + offset
+            dst_hi = min(dst_lo + src.shape[1], k)
+            if dst_hi > dst_lo:
+                out[:, dst_lo:dst_hi] = src[:, : dst_hi - dst_lo]
+        band_start *= 2
+    return out
+
+
+def batch_haar_decompose(segments: np.ndarray) -> np.ndarray:
+    """Row-wise full Haar decomposition of ``(M, 2^m)`` segments.
+
+    Row ``i`` of the result is bit-identical to
+    ``full_decompose(segments[i], "haar")``: each cascade step multiplies the
+    even/odd columns by the very same filter taps the scalar
+    :func:`repro.wavelets.transform.dwt_step` fast path uses, in the same
+    order, so no float reassociation can creep in.
+    """
+    segs = np.asarray(segments, dtype=np.float64)
+    if segs.ndim != 2 or not is_power_of_two(segs.shape[1]):
+        raise ValueError(
+            f"segments must be a (M, 2^m) matrix, got shape {segs.shape}"
+        )
+    filt = get_filter("haar")
+    h0, h1 = filt.lowpass
+    g0, g1 = filt.highpass
+    out = np.empty_like(segs)
+    approx = segs
+    size = segs.shape[1]
+    while size > 1:
+        half = size // 2
+        even = approx[:, 0::2]
+        odd = approx[:, 1::2]
+        out[:, half:size] = even * g0 + odd * g1
+        approx = even * h0 + odd * h1
+        size = half
+    out[:, 0] = approx[:, 0]
+    return out
+
+
 def haar_average(coeffs: np.ndarray, length: int) -> float:
     """Mean of a segment of ``length`` points from its Haar coefficients.
 
@@ -148,6 +236,24 @@ def parent_position(child_pos: int, is_newer: bool) -> int:
     return child_pos + s + (s if is_newer else 0)
 
 
+def _pow2_floor(pos: np.ndarray) -> np.ndarray:
+    """Largest power of two ``<= pos`` for each positive int64 entry (exact)."""
+    p = pos.astype(np.int64)
+    p |= p >> 1
+    p |= p >> 2
+    p |= p >> 4
+    p |= p >> 8
+    p |= p >> 16
+    p |= p >> 32
+    return (p + 1) >> 1
+
+
+def _parent_positions(child_pos: np.ndarray, is_newer: bool) -> np.ndarray:
+    """Vectorized :func:`parent_position` over an array of positions ``>= 1``."""
+    s = _pow2_floor(child_pos)
+    return child_pos + (2 * s if is_newer else s)
+
+
 def sparse_combine(
     older_pos: np.ndarray,
     older_val: np.ndarray,
@@ -165,17 +271,31 @@ def sparse_combine(
     """
     if k < 1:
         raise ValueError("k must be >= 1")
+    older_pos = np.asarray(older_pos, dtype=np.int64)
+    newer_pos = np.asarray(newer_pos, dtype=np.int64)
+    older_val = np.asarray(older_val, dtype=np.float64)
+    newer_val = np.asarray(newer_val, dtype=np.float64)
     a_l = float(older_val[0]) if older_pos.size and older_pos[0] == 0 else 0.0
     a_r = float(newer_val[0]) if newer_pos.size and newer_pos[0] == 0 else 0.0
-    cand_pos = [0, 1]
-    cand_val = [(a_l + a_r) / _SQRT2, (a_l - a_r) / _SQRT2]
-    for pos_arr, val_arr, newer in ((older_pos, older_val, False), (newer_pos, newer_val, True)):
-        for p, v in zip(pos_arr, val_arr):
-            if p >= 1:
-                cand_pos.append(parent_position(int(p), newer))
-                cand_val.append(float(v))
-    pos = np.asarray(cand_pos, dtype=np.int64)
-    val = np.asarray(cand_val, dtype=np.float64)
+    # Candidate order matters for tie-breaking and must match the historical
+    # scan: butterfly outputs first, then the older child's detail positions
+    # in stored order, then the newer child's.
+    keep_older = older_pos >= 1
+    keep_newer = newer_pos >= 1
+    pos = np.concatenate(
+        [
+            np.array([0, 1], dtype=np.int64),
+            _parent_positions(older_pos[keep_older], is_newer=False),
+            _parent_positions(newer_pos[keep_newer], is_newer=True),
+        ]
+    )
+    val = np.concatenate(
+        [
+            np.array([(a_l + a_r) / _SQRT2, (a_l - a_r) / _SQRT2], dtype=np.float64),
+            older_val[keep_older],
+            newer_val[keep_newer],
+        ]
+    )
     if pos.size <= k:
         order = np.argsort(pos)
         return pos[order], val[order]

@@ -1,0 +1,15 @@
+"""REP006 bad fixture: per-value loops where the batched extend would do."""
+
+
+def replay(tree, values):
+    for v in values:
+        tree.update(v)  # REP006
+
+
+def replay_attr(self, values):
+    for v in values:
+        self.swat.update(float(v))  # REP006
+
+
+def replay_comprehension(tree, values):
+    return [tree.update(v) for v in values]  # REP006

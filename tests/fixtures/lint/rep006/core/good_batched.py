@@ -1,0 +1,26 @@
+"""REP006 good fixture: batched ingest and legitimate per-value loops."""
+
+
+def replay(tree, values):
+    tree.extend(values)  # the batched fast path
+
+
+def scalar_fallback(self, values):
+    # `self.update` is how extend's own scalar fallback is written; the
+    # receiver heuristic leaves it alone.
+    for v in values:
+        self.update(v)
+
+
+def unrelated_receiver(cache, values):
+    for v in values:
+        cache.update(v)  # dict.update-style receivers are not summaries
+
+
+def update_outside_loop(tree, value):
+    tree.update(value)
+
+
+def loop_variable_not_ingested(tree, values, constant):
+    for _ in values:
+        tree.update(constant)

@@ -33,6 +33,7 @@ class TestRuleFixtures:
             ("REP003", fixture("rep003", "pkg", "bad_float_eq.py"), 2),
             ("REP004", fixture("rep004", "core", "bad_unguarded.py"), 2),
             ("REP005", fixture("rep005", "pkg", "bad_mutable_default.py"), 3),
+            ("REP006", fixture("rep006", "core", "bad_scalar_loop.py"), 3),
         ],
     )
     def test_rule_fires_on_bad_fixture(self, rule, bad, expected_count):
@@ -47,6 +48,7 @@ class TestRuleFixtures:
             fixture("rep003", "pkg", "good_float_eq.py"),
             fixture("rep004", "core", "good_guarded.py"),
             fixture("rep005", "pkg", "good_mutable_default.py"),
+            fixture("rep006", "core", "good_batched.py"),
         ],
     )
     def test_rule_quiet_on_good_fixture(self, good):
@@ -108,6 +110,19 @@ class TestRuleSemantics:
         bad = check_source("def f(width):\n    return width == 3\n", "m.py")
         assert [f.code for f in bad] == ["REP003"]
 
+    def test_rep006_scoped_to_library_dirs(self):
+        src = "def f(tree, vs):\n    for v in vs:\n        tree.update(v)\n"
+        # experiments/ measures per-arrival latency on purpose (Figure 6a).
+        assert check_source(src, "pkg/experiments/centralized.py") == []
+        scoped = check_source(src, "pkg/core/driver.py")
+        assert [f.code for f in scoped] == ["REP006"]
+
+    def test_rep006_ignores_self_receiver_and_non_loop_args(self):
+        fallback = "def f(self, vs):\n    for v in vs:\n        self.update(v)\n"
+        assert check_source(fallback, "pkg/core/swat.py") == []
+        const = "def f(tree, vs, c):\n    for v in vs:\n        tree.update(c)\n"
+        assert check_source(const, "pkg/core/swat.py") == []
+
     def test_rep004_accepts_nested_guard(self):
         src = (
             "from repro import obs\n"
@@ -123,7 +138,7 @@ class TestDriver:
     def test_lint_paths_walks_directories(self):
         findings = lint_paths([FIXTURES])
         codes = {f.code for f in findings}
-        assert codes == {"REP001", "REP002", "REP003", "REP004", "REP005"}
+        assert codes == {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006"}
 
     def test_lint_paths_missing_target_raises(self):
         with pytest.raises(FileNotFoundError):
@@ -134,7 +149,7 @@ class TestDriver:
 
     def test_rule_registry_is_complete(self):
         assert [r.code for r in RULES] == [
-            "REP001", "REP002", "REP003", "REP004", "REP005",
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
         ]
 
 
@@ -169,5 +184,5 @@ class TestEntryPoints:
             cwd=REPO, capture_output=True, text=True,
         )
         assert proc.returncode == 0
-        for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
             assert code in proc.stdout
