@@ -8,11 +8,14 @@ Usage::
     python -m repro all --quick           # everything
     python -m repro stats fig9c --quick   # run + print a metrics report
     python -m repro fig6a --metrics-out m.json   # dump the registry as JSON
-    python -m repro check src             # repo-specific AST lint (REP001-005)
+    python -m repro chaos --quick         # fault-injection robustness sweep
+    python -m repro check src             # repo-specific AST lint (REP001-007)
 
 ``stats`` (and ``--metrics-out`` on any experiment) turns on
 :mod:`repro.obs` before the run; ``-v`` installs a stderr log handler on the
-``"repro"`` logger (``-vv`` for debug, e.g. ADR phase decisions).
+``"repro"`` logger (``-vv`` for debug, e.g. ADR phase decisions).  When a
+run injected faults, ``stats`` appends a fault-injection section (drops,
+retries, degraded answers — see ``docs/robustness.md``).
 
 The heavy lifting lives in :mod:`repro.experiments`; this module only maps
 figure ids to drivers and formats the output.
@@ -30,6 +33,7 @@ import numpy as np
 
 from . import obs
 from .experiments import (
+    fault_tolerance_demo,
     fig10a_client_sweep,
     fig10b_precision_sweep_multi,
     fig4a_relative_error,
@@ -139,6 +143,15 @@ def _space(quick: bool) -> str:
     return format_table(space_complexity(), "Section 5.1: space complexity")
 
 
+def _chaos(quick: bool) -> str:
+    t = 80.0 if quick else 200.0
+    rates = (0.0, 0.1, 0.2) if quick else (0.0, 0.05, 0.1, 0.2)
+    return format_table(
+        fault_tolerance_demo(drop_rates=rates, measure_time=t),
+        "Robustness: async SWAT-ASR under drop/duplication/crash faults",
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig4a": _fig4a,
     "fig4c": _fig4c,
@@ -151,7 +164,46 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig10a": _fig10a,
     "fig10b": _fig10b,
     "space": _space,
+    "chaos": _chaos,
 }
+
+#: Counter-name prefixes that describe injected faults and the protocol's
+#: reaction to them; ``repro stats`` surfaces these in their own section.
+_FAULT_COUNTER_PREFIXES = (
+    "transport.dropped",
+    "transport.duplicated",
+    "transport.retries",
+    "transport.failed",
+    "transport.dedup_hits",
+    "transport.acks",
+    "asr.degraded_answers",
+    "asr.degraded_serves",
+    "asr.lost_responses",
+    "asr.late_responses",
+    "asr.unsynced_marks",
+    "asr.resyncs",
+)
+
+
+def _render_fault_section(snapshot: dict) -> str:
+    """A ``repro stats`` section for fault-injection counters.
+
+    Empty string when the run injected no faults (all fault counters absent
+    or zero), so perfect-network stats output is unchanged.
+    """
+    counters = snapshot.get("counters", {})
+    hits = {
+        key: value
+        for key, value in counters.items()
+        if value and any(key.startswith(p) for p in _FAULT_COUNTER_PREFIXES)
+    }
+    if not hits:
+        return ""
+    width = max(len(k) for k in hits)
+    lines = ["== fault injection =="]
+    for key in sorted(hits):
+        lines.append(f"  {key:<{width}}  {hits[key]:g}")
+    return "\n".join(lines)
 
 
 def _install_verbose_logging(verbosity: int) -> None:
@@ -242,7 +294,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         print(EXPERIMENTS[target](args.quick))
         print()
-        print(obs.render_text(obs.metrics_snapshot(), title=f"metrics: {target}"))
+        snapshot = obs.metrics_snapshot()
+        print(obs.render_text(snapshot, title=f"metrics: {target}"))
+        fault_section = _render_fault_section(snapshot)
+        if fault_section:
+            print()
+            print(fault_section)
         _dump_metrics(args.metrics_out)
         return 0
 

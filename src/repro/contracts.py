@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # avoid runtime circular imports; checkers take the objects
     from .core.swat import Swat
     from .replication.asr import SwatAsr
+    from .replication.async_asr import AsyncSwatAsr
 
 __all__ = [
     "InvariantViolation",
@@ -36,6 +37,7 @@ __all__ = [
     "resolve_check_flag",
     "check_swat",
     "check_asr",
+    "check_async_asr",
 ]
 
 #: Environment switch read by :func:`invariants_enabled`.
@@ -143,4 +145,48 @@ def check_asr(asr: "SwatAsr") -> None:
                     f"({child_row.width:g}) is tighter than at its parent "
                     f"{parent!r} ({parent_row.width:g}); precision must be "
                     "monotone non-increasing toward the source"
+                )
+
+
+def check_async_asr(asr: "AsyncSwatAsr") -> None:
+    """Width monotonicity for the actor-based ASR, degraded states excused.
+
+    The contract of :func:`check_asr` holds on every root-ward edge *except*
+    where fault injection legitimately broke it:
+
+    * a crashed child (or a child of a crashed parent) is skipped — its rows
+      are frozen mid-outage by construction;
+    * a ``(child, segment)`` pair the parent has marked *unsynced* (an UPDATE
+      push exhausted its retries) is excused until the parent's re-sync loop
+      repairs it;
+    * a row the child itself distrusts after its own recovery
+      (``_suspect``) is excused — the site already refuses to serve it.
+
+    Everything else must satisfy the Section 3 monotonicity.  Called after
+    every arrival and phase boundary when invariant checking is on.
+    """
+    transport = asr.transport
+    for node in asr.topology.clients:
+        parent = asr.topology.parent(node)
+        assert parent is not None
+        if not transport.is_up(node) or not transport.is_up(parent):
+            continue
+        child_site = asr.sites[node]
+        parent_site = asr.sites[parent]
+        excused = parent_site.unsynced.get(node, frozenset())
+        for seg in asr._segments:
+            if seg in excused:
+                continue
+            child_row = child_site.directory.row(seg)
+            if not child_row.is_cached or child_site._suspect(seg):
+                continue
+            parent_row = parent_site.directory.row(seg)
+            if parent_row.width > child_row.width + _WIDTH_TOLERANCE:
+                raise InvariantViolation(
+                    f"segment {seg}: cached width at {node!r} "
+                    f"({child_row.width:g}) is tighter than at its parent "
+                    f"{parent!r} ({parent_row.width:g}) and the pair is not "
+                    "in a degraded state (crashed, unsynced, or suspect); "
+                    "precision must be monotone non-increasing toward the "
+                    "source"
                 )

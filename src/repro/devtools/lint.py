@@ -29,6 +29,11 @@ REP006    no per-value Python loops feeding ``<swat-like>.update(v)`` in
           whose batched ingest path is bit-identical and vectorized
           (``experiments/`` is exempt: per-arrival timing loops are the
           point of Figure 6)
+REP007    no bare ``except:`` and no swallowed exceptions in the
+          fault-handling layers (``network/``, ``replication/``) — a
+          handler must name the exception it expects, and a broad
+          ``except Exception`` or a silent ``pass`` body hides exactly
+          the failures the reliability sublayer exists to surface
 ========  ==================================================================
 
 Run it as ``python -m tools.lint [paths...]`` or ``repro check [paths...]``;
@@ -377,6 +382,80 @@ def _check_rep006(tree: ast.Module, path: str) -> Iterator[Finding]:
             )
 
 
+# ------------------------------------------------------------------- REP007
+
+#: Catch-all exception types: catching one of these without re-raising turns
+#: every unexpected bug into silent data loss inside the reliability layer.
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> Tuple[str, ...]:
+    """Exception class names a handler catches (tuple types flattened)."""
+    node = handler.type
+    if node is None:
+        return ()
+    exprs = list(node.elts) if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for expr in exprs:
+        identifier = _identifier_of(expr)
+        if identifier is not None:
+            names.append(identifier)
+    return tuple(names)
+
+
+def _swallows_silently(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing at all (``pass`` / ``...``)."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in handler.body
+    )
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+
+def _check_rep007(tree: ast.Module, path: str) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield Finding(
+                path, node.lineno, node.col_offset, "REP007",
+                "bare `except:` in fault-handling code catches everything "
+                "(including KeyboardInterrupt); name the exception you "
+                "expect — the reliability layer must surface faults it did "
+                "not anticipate, not absorb them",
+            )
+            continue
+        if _reraises(node):
+            continue  # broad catch-log-reraise is a legitimate pattern
+        names = _handler_type_names(node)
+        broad = sorted(set(names) & _BROAD_EXCEPTIONS)
+        if broad:
+            yield Finding(
+                path, node.lineno, node.col_offset, "REP007",
+                f"broad `except {', '.join(broad)}` without re-raise in "
+                "fault-handling code; catch the specific failure (or "
+                "re-raise after recording) so injected-fault handling "
+                "cannot mask protocol bugs",
+            )
+            continue
+        if _swallows_silently(node):
+            caught = ", ".join(names) if names else "exception"
+            yield Finding(
+                path, node.lineno, node.col_offset, "REP007",
+                f"exception handler swallows {caught} silently (body is "
+                "only `pass`); handle it, count it, or re-raise — dropped "
+                "messages and crashed sites must stay observable",
+            )
+
+
 # ------------------------------------------------------------------ registry
 
 RULES: Tuple[Rule, ...] = (
@@ -415,6 +494,12 @@ RULES: Tuple[Rule, ...] = (
         "no per-value update loops where a batched extend would do",
         ("core", "replication", "histogram", "sketches", "network"),
         _check_rep006,
+    ),
+    Rule(
+        "REP007",
+        "no bare except or swallowed exceptions in fault-handling layers",
+        ("network", "replication"),
+        _check_rep007,
     ),
 )
 
@@ -476,7 +561,7 @@ def lint_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tools.lint",
-        description="Repo-specific AST linter (rules REP001-REP006).",
+        description="Repo-specific AST linter (rules REP001-REP007).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],

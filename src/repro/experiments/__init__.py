@@ -11,6 +11,7 @@ from .centralized import (
     run_error_experiment,
 )
 from .distributed import (
+    fault_tolerance_demo,
     fig10a_client_sweep,
     fig10b_precision_sweep_multi,
     fig9a_rate_sweep,
@@ -35,5 +36,6 @@ __all__ = [
     "fig10b_precision_sweep_multi",
     "replication_dataset",
     "space_complexity",
+    "fault_tolerance_demo",
     "generate_report",
 ]

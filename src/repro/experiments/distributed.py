@@ -8,13 +8,15 @@ renders them.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, cast
 
 import numpy as np
 
 from ..data.synthetic import uniform_stream
 from ..data.weather import santa_barbara_temps
+from ..network.faults import CrashWindow, FaultPlan
 from ..network.topology import Topology
+from ..replication.async_asr import AsyncSwatAsr
 from ..replication.harness import (
     PROTOCOLS,
     ReplicationConfig,
@@ -29,6 +31,7 @@ __all__ = [
     "fig10b_precision_sweep_multi",
     "space_complexity",
     "replication_dataset",
+    "fault_tolerance_demo",
 ]
 
 
@@ -189,6 +192,76 @@ def fig10b_precision_sweep_multi(
         row = {"precision_delta": delta}
         row.update(_run_point(topo, stream, value_range, config))
         rows.append(row)
+    return rows
+
+
+def fault_tolerance_demo(
+    drop_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    duplicate_rate: float = 0.05,
+    n_clients: int = 6,
+    window_size: int = 32,
+    warmup_time: float = 50.0,
+    measure_time: float = 200.0,
+    max_query_length: int = MAX_QUERY_LENGTH,
+    seed: int = 0,
+) -> List[dict]:
+    """Robustness sweep: async SWAT-ASR over an increasingly lossy network.
+
+    Every row runs the actor-based protocol with a seeded
+    :class:`~repro.network.faults.FaultPlan` — the given drop rate,
+    ``duplicate_rate`` duplication, and one interior site crashed for a
+    stretch in the middle of the measurement phase — and reports the logical
+    message count next to the reliability sublayer's work (retransmissions,
+    messages declared failed) and the protocol's degraded answers.  The
+    not-degraded answers keep their precision guarantee at every drop rate
+    (asserted in ``tests/test_faults.py``); what rises with loss is the
+    *cost*: retries, and eventually degraded serves.
+    """
+    stream, value_range = replication_dataset("synthetic", seed=seed)
+    rows = []
+    for rate in drop_rates:
+        topo = Topology.complete_binary_tree(n_clients)
+        interior = next(
+            n for n in topo.nodes if n != topo.root and topo.children(n)
+        )
+        fill_time = window_size * 2.0
+        crash_start = fill_time + warmup_time + 0.4 * measure_time
+        plan = FaultPlan(
+            seed=seed + 1,
+            drop_rate=rate,
+            duplicate_rate=duplicate_rate,
+            crashes=(CrashWindow(interior, crash_start, crash_start + 0.2 * measure_time),),
+        )
+        protocol = AsyncSwatAsr(
+            topo,
+            window_size,
+            faults=plan,
+            retry_timeout=0.05,
+            max_retries=2,
+        )
+        config = ReplicationConfig(
+            window_size=window_size,
+            data_period=2.0,
+            query_period=1.0,
+            warmup_time=warmup_time,
+            measure_time=measure_time,
+            max_query_length=max_query_length,
+            value_range=value_range,
+            seed=seed,
+        )
+        result = run_replication(protocol, stream, config)
+        counters = cast(Dict[str, int], result.meta.get("faults", {}))
+        rows.append(
+            {
+                "drop_rate": rate,
+                "messages": result.total_messages,
+                "retries": counters.get("retries", 0),
+                "failed": counters.get("failed", 0),
+                "dedup_hits": counters.get("dedup_hits", 0),
+                "degraded_answers": result.meta.get("degraded_answers", 0),
+                "queries": result.n_queries,
+            }
+        )
     return rows
 
 

@@ -1,9 +1,10 @@
 """Network substrate: topologies, message accounting, segment directories."""
 
 from .directory import Directory, DirectoryRow, Segment, window_segments
+from .faults import CrashWindow, FaultPlan
 from .messages import MessageKind, MessageStats
 from .topology import SOURCE, Topology
-from .transport import Envelope, Transport
+from .transport import Envelope, Transport, TransportDrainError
 
 __all__ = [
     "Directory",
@@ -16,4 +17,7 @@ __all__ = [
     "SOURCE",
     "Envelope",
     "Transport",
+    "TransportDrainError",
+    "CrashWindow",
+    "FaultPlan",
 ]

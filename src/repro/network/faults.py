@@ -1,0 +1,159 @@
+"""Seeded fault injection for the simulated network.
+
+The transport of :mod:`repro.network.transport` models a perfect network by
+default: every envelope is delivered exactly once and no site ever fails.
+Real deployments of distributed sliding-window summaries lose messages,
+deliver them twice, reorder them, and watch sites crash and come back.  A
+:class:`FaultPlan` describes those imperfections as a *seeded, deterministic*
+schedule the transport consults on every transmission:
+
+* **drop** — the envelope vanishes (probability :attr:`FaultPlan.drop_rate`);
+* **duplicate** — the envelope is delivered twice
+  (probability :attr:`FaultPlan.duplicate_rate`);
+* **jitter** — each physical copy is delayed by an extra uniform draw from
+  ``[0, jitter]`` virtual seconds on top of the base latency, which reorders
+  envelopes relative to each other;
+* **crash** — a site is down for one or more :class:`CrashWindow` intervals;
+  envelopes arriving at a crashed site are lost and its handler never runs.
+
+All randomness flows through one injected ``numpy.random.Generator`` seeded
+at construction (REP001), so a given ``(plan seed, workload seed)`` pair
+replays the exact same fault sequence every run.  Attaching a plan to a
+:class:`~repro.network.transport.Transport` also switches the transport into
+*reliable* mode (acks, retransmission, dedup) — see ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CrashWindow", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One site outage: ``site`` is down during ``[start, end)`` virtual time.
+
+    Deliveries due inside the window are dropped; the site handles traffic
+    again from ``end`` onward (retransmissions landing after recovery go
+    through).
+    """
+
+    site: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not self.start < self.end:
+            raise ValueError(
+                f"crash window for {self.site!r} needs start < end, "
+                f"got [{self.start}, {self.end})"
+            )
+
+    def covers(self, at: float) -> bool:
+        """True when the site is down at virtual time ``at``."""
+        return self.start <= at < self.end
+
+
+class FaultPlan:
+    """A deterministic schedule of network faults.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the plan's private RNG; two plans with the same seed and
+        rates inject identical fault sequences.
+    drop_rate, duplicate_rate:
+        Per-transmission probabilities in ``[0, 1]``.  A transmission rolls
+        drop first; only surviving transmissions roll duplication, so the two
+        are mutually exclusive per physical copy.
+    jitter:
+        Maximum extra per-copy delivery delay in virtual seconds (uniform on
+        ``[0, jitter]``); 0 disables reordering.
+    crashes:
+        Site outage windows (:class:`CrashWindow` instances).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        jitter: float = 0.0,
+        crashes: Sequence[CrashWindow] = (),
+    ) -> None:
+        for name, rate in (("drop_rate", drop_rate), ("duplicate_rate", duplicate_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self.seed = seed
+        self.drop_rate = drop_rate
+        self.duplicate_rate = duplicate_rate
+        self.jitter = jitter
+        self.crashes: Tuple[CrashWindow, ...] = tuple(crashes)
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------- per-send
+
+    def roll_drop(self) -> bool:
+        """One drop decision (consumes one draw only when ``drop_rate > 0``)."""
+        if self.drop_rate <= 0.0:
+            return False
+        return bool(self._rng.random() < self.drop_rate)
+
+    def roll_duplicate(self) -> bool:
+        """One duplication decision for a transmission that survived drop."""
+        if self.duplicate_rate <= 0.0:
+            return False
+        return bool(self._rng.random() < self.duplicate_rate)
+
+    def roll_jitter(self) -> float:
+        """Extra delivery delay for one physical copy."""
+        if self.jitter <= 0.0:
+            return 0.0
+        return float(self._rng.uniform(0.0, self.jitter))
+
+    # -------------------------------------------------------------- crashes
+
+    def is_crashed(self, site: str, at: float) -> bool:
+        """True when ``site`` is inside one of its outage windows at ``at``."""
+        return any(w.site == site and w.covers(at) for w in self.crashes)
+
+    def recovery_time(self, site: str, at: float) -> Optional[float]:
+        """End of the outage window covering ``at``; ``None`` when up."""
+        for w in self.crashes:
+            if w.site == site and w.covers(at):
+                return w.end
+        return None
+
+    def last_recovery_before(self, site: str, at: float) -> Optional[float]:
+        """Most recent time ``site`` came back up, or ``None`` if it never
+        crashed before ``at``.
+
+        This is *locally knowable* state — a real process knows it restarted
+        — and lets a recovered site distrust directory rows older than its
+        own recovery (see ``repro.replication.async_asr``).
+        """
+        ends = [w.end for w in self.crashes if w.site == site and w.end <= at]
+        return max(ends) if ends else None
+
+    @property
+    def is_zero_fault(self) -> bool:
+        """True when the plan can never perturb a delivery."""
+        return (
+            self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.jitter == 0.0
+            and not self.crashes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, drop={self.drop_rate}, "
+            f"dup={self.duplicate_rate}, jitter={self.jitter}, "
+            f"crashes={len(self.crashes)})"
+        )

@@ -24,6 +24,12 @@ class MessageKind:
     INSERT = "insert"  # replica grant (a site joins a replication scheme)
     UNSUBSCRIBE = "unsubscribe"  # a site leaves a replication scheme
 
+    #: Transport-level delivery acknowledgement (reliable mode only).  Acks
+    #: are *not* protocol messages: they never enter :class:`MessageStats`
+    #: (``ALL``), so the paper's hop-count cost metric is unchanged whether
+    #: the transport runs reliably or not.
+    ACK = "ack"
+
     ALL = (QUERY, RESPONSE, UPDATE, INSERT, UNSUBSCRIBE)
 
     # Data-bearing kinds cost 1 in the Divergence Caching formula; the rest

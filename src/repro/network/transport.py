@@ -7,32 +7,94 @@ arrive after a configurable per-hop latency, and are handed to the receiving
 site's handler — which lets the replication protocols run as communicating
 actors (:mod:`repro.replication.async_asr`) and lets experiments measure
 response latency directly instead of deriving it from hop counts.
+
+Fault tolerance
+---------------
+By default the network is perfect: every envelope is delivered exactly once.
+Attaching a :class:`~repro.network.faults.FaultPlan` switches the transport
+into **reliable mode**:
+
+* every logical message gets a unique id (:meth:`Transport.fresh_id`) and is
+  retransmitted on an exponential-backoff timer until the receiver's ack
+  arrives or ``max_retries`` retransmissions are exhausted;
+* the receiver deduplicates by message id, so duplicated or retransmitted
+  copies are dispatched to the handler **at most once** (and re-acked, so a
+  lost ack cannot cause a double-apply);
+* deliveries due at a crashed site are suppressed; retransmissions landing
+  after recovery go through;
+* a message whose retries are exhausted invokes the sender's ``on_failed``
+  callback instead of raising — the protocol layer degrades gracefully
+  (see :mod:`repro.replication.async_asr`).
+
+Acks are transport-level control traffic: they are never recorded in
+:class:`~repro.network.messages.MessageStats`, so the paper's hop-count cost
+metric is identical with and without reliability.  ``MessageStats`` counts
+*logical* sends; physical retransmissions show up in the observability
+counters ``transport.retries`` / ``transport.dropped`` /
+``transport.duplicated`` instead.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Mapping, Optional, Set
 
 from ..obs import metrics as obs
-from ..obs.trace import HopRecord, Tracer
+from ..obs.trace import FaultRecord, HopRecord, Tracer
 from ..simulate.events import Simulator
+from .faults import FaultPlan
 from .messages import MessageKind, MessageStats
 from .topology import Topology
 
-__all__ = ["Envelope", "Transport"]
+__all__ = ["Envelope", "Transport", "TransportDrainError"]
+
+
+class TransportDrainError(RuntimeError):
+    """``Transport.drain`` exceeded its step budget with envelopes in flight.
+
+    Raised instead of looping forever when handlers keep re-sending on every
+    delivery (a protocol livelock) or when reliability bookkeeping leaks; the
+    message names the in-flight message kinds to point at the offender.
+    """
 
 
 @dataclass(frozen=True)
 class Envelope:
-    """One message on one tree edge."""
+    """One logical message on one tree edge.
+
+    ``payload`` is snapshotted at construction and exposed read-only
+    (``MappingProxyType``): duplicated or retried deliveries of the same
+    envelope must never observe each other's mutations, and neither the
+    sender nor a tracer can alter what a handler sees.  ``msg_id`` is set in
+    reliable mode only and keys ack/retry/dedup bookkeeping.
+    """
 
     src: str
     dst: str
     kind: str
-    payload: dict = field(default_factory=dict)
+    payload: Mapping[str, Any] = field(default_factory=dict)
     sent_at: float = 0.0
+    msg_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "payload", MappingProxyType(dict(self.payload)))
+
+
+class _PendingSend:
+    """Sender-side reliability state for one logical message."""
+
+    __slots__ = ("env", "attempts", "on_failed")
+
+    def __init__(
+        self, env: Envelope, on_failed: Optional[Callable[[Envelope], None]]
+    ) -> None:
+        self.env = env
+        #: Physical transmissions performed so far (1 after the first send).
+        self.attempts = 0
+        self.on_failed = on_failed
 
 
 class Transport:
@@ -47,7 +109,24 @@ class Transport:
     latency:
         Per-hop delivery delay in virtual seconds (0 = same-instant delivery,
         still in FIFO event order).
+    tracer:
+        Optional per-envelope trace sink (send / deliver / fault hooks).
+    faults:
+        Optional :class:`~repro.network.faults.FaultPlan`.  Attaching one
+        switches the transport into reliable mode (acks, retransmission,
+        dedup); ``None`` keeps the exact perfect-network fast path.
+    retry_timeout:
+        Base ack timeout in virtual seconds; attempt ``i`` waits
+        ``retry_timeout * 2**i``.  Defaults to
+        ``max(4 * (latency + jitter), 0.05)``.
+    max_retries:
+        Retransmissions after the first send before the message is declared
+        failed and ``on_failed`` fires.
+    drain_max_steps:
+        Default step budget for :meth:`drain` (override per call).
     """
+
+    DEFAULT_DRAIN_STEPS = 100_000
 
     def __init__(
         self,
@@ -55,19 +134,56 @@ class Transport:
         topology: Topology,
         latency: float = 0.0,
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultPlan] = None,
+        retry_timeout: Optional[float] = None,
+        max_retries: int = 3,
+        drain_max_steps: int = DEFAULT_DRAIN_STEPS,
     ) -> None:
         if latency < 0:
             raise ValueError("latency must be non-negative")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_timeout is not None and retry_timeout <= 0:
+            raise ValueError("retry_timeout must be positive")
+        if drain_max_steps < 1:
+            raise ValueError("drain_max_steps must be positive")
         self.sim = sim
         self.topology = topology
         self.latency = latency
         self.stats = MessageStats()
-        #: Optional per-envelope trace sink (send + deliver hooks);
+        #: Optional per-envelope trace sink (send + deliver + fault hooks);
         #: ``None`` keeps the hot path at one attribute check.
         self.tracer: Optional[Tracer] = tracer
+        self.faults = faults
+        self.max_retries = max_retries
+        jitter = faults.jitter if faults is not None else 0.0
+        self.retry_timeout = (
+            retry_timeout
+            if retry_timeout is not None
+            else max(4.0 * (latency + jitter), 0.05)
+        )
+        self.drain_max_steps = drain_max_steps
         self._handlers: Dict[str, Callable[[Envelope], None]] = {}
         self._ids = itertools.count(1)
         self._in_flight = 0
+        self._in_flight_kinds: Counter = Counter()
+        # Reliable-mode state: pending acks at the sender, seen ids at the
+        # receiver (per destination site, for idempotent delivery).
+        self._pending: Dict[int, _PendingSend] = {}
+        self._seen: Dict[str, Set[int]] = {}
+        # Plain reliability counters (always on — cheap int adds); the obs
+        # registry mirrors them when observability is enabled.
+        self.dropped = 0
+        self.duplicated = 0
+        self.retries = 0
+        self.failed = 0
+        self.dedup_hits = 0
+        self.acks = 0
+
+    @property
+    def reliable(self) -> bool:
+        """True when a fault plan is attached (ack/retry/dedup active)."""
+        return self.faults is not None
 
     def register(self, node: str, handler: Callable[[Envelope], None]) -> None:
         """Attach the site's message handler."""
@@ -75,13 +191,30 @@ class Transport:
             raise KeyError(f"unknown site {node!r}")
         self._handlers[node] = handler
 
+    def is_up(self, site: str) -> bool:
+        """False while ``site`` sits inside a fault-plan crash window."""
+        return self.faults is None or not self.faults.is_crashed(site, self.sim.now)
+
     def _adjacent(self, a: str, b: str) -> bool:
         return self.topology.parent(a) == b or self.topology.parent(b) == a
 
+    # ----------------------------------------------------------------- send
+
     def send(
-        self, src: str, dst: str, kind: str, payload: Optional[dict] = None
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        on_failed: Optional[Callable[[Envelope], None]] = None,
     ) -> None:
-        """Ship one envelope one hop; delivery is a future simulator event."""
+        """Ship one logical message one hop; delivery is a future event.
+
+        In reliable mode the message is retransmitted until acked; if the
+        retry cap is exhausted, ``on_failed`` (if given) is invoked with the
+        envelope instead of raising.  ``on_failed`` is ignored on the
+        perfect-network path, where delivery is guaranteed.
+        """
         if dst not in self._handlers:
             raise KeyError(f"no handler registered at {dst!r}")
         if not self._adjacent(src, dst):
@@ -89,18 +222,37 @@ class Transport:
         if kind not in MessageKind.ALL:
             raise ValueError(f"unknown message kind {kind!r}")
         self.stats.record(kind)
-        env = Envelope(src, dst, kind, dict(payload or {}), self.sim.now)
-        self._in_flight += 1
         if self.tracer is not None:
             self.tracer.on_send(src, dst, kind, self.sim.now)
         if obs.ENABLED:
             obs.counter("transport.sent").inc()
-        self.sim.schedule_after(
-            self.latency, lambda: self._deliver(env), label=f"transport.deliver:{kind}"
-        )
+        if self.faults is None:
+            env = Envelope(src, dst, kind, dict(payload or {}), self.sim.now)
+            self._track(env)
+            self.sim.schedule_after(
+                self.latency,
+                lambda: self._deliver(env),
+                label=f"transport.deliver:{kind}",
+            )
+            return
+        msg_id = self.fresh_id()
+        env = Envelope(src, dst, kind, dict(payload or {}), self.sim.now, msg_id=msg_id)
+        self._pending[msg_id] = _PendingSend(env, on_failed)
+        self._track(env)
+        self._transmit(self._pending[msg_id])
+
+    def _track(self, env: Envelope) -> None:
+        self._in_flight += 1
+        self._in_flight_kinds[env.kind] += 1
+
+    def _untrack(self, env: Envelope) -> None:
+        self._in_flight -= 1
+        self._in_flight_kinds[env.kind] -= 1
+
+    # ------------------------------------------------- perfect-network path
 
     def _deliver(self, env: Envelope) -> None:
-        self._in_flight -= 1
+        self._untrack(env)
         if self.tracer is not None:
             self.tracer.on_deliver(
                 HopRecord(env.src, env.dst, env.kind, env.sent_at, self.sim.now)
@@ -110,21 +262,192 @@ class Transport:
             obs.histogram("transport.hop_latency").observe(self.sim.now - env.sent_at)
         self._handlers[env.dst](env)
 
+    # --------------------------------------------------- reliable-mode path
+
+    def _on_fault(self, fault: str, env: Envelope, detail: str = "") -> None:
+        if self.tracer is not None:
+            self.tracer.on_fault(
+                FaultRecord(fault, env.src, env.dst, env.kind, self.sim.now, detail)
+            )
+
+    def _transmit(self, pending: _PendingSend) -> None:
+        """One physical transmission attempt: roll faults, schedule copies
+        and the ack-timeout guard for this attempt."""
+        env = pending.env
+        plan = self.faults
+        assert plan is not None  # reliable mode only
+        pending.attempts += 1
+        copies = 1
+        if plan.roll_drop():
+            copies = 0
+            self.dropped += 1
+            self._on_fault("drop", env)
+            if obs.ENABLED:
+                obs.counter("transport.dropped", reason="drop").inc()
+        elif plan.roll_duplicate():
+            copies = 2
+            self.duplicated += 1
+            self._on_fault("duplicate", env)
+            if obs.ENABLED:
+                obs.counter("transport.duplicated").inc()
+        for _ in range(copies):
+            extra = plan.roll_jitter()
+            if extra > 0:
+                self._on_fault("jitter", env, detail=f"{extra:.6f}")
+            self.sim.schedule_after(
+                self.latency + extra,
+                lambda: self._deliver_reliable(env),
+                label=f"transport.deliver:{env.kind}",
+            )
+        timeout = self.retry_timeout * (2 ** (pending.attempts - 1))
+        guarded_attempts = pending.attempts
+        msg_id = env.msg_id
+        assert msg_id is not None
+        self.sim.schedule_after(
+            timeout,
+            lambda: self._on_timeout(msg_id, guarded_attempts),
+            label=f"transport.timeout:{env.kind}",
+        )
+
+    def _deliver_reliable(self, env: Envelope) -> None:
+        plan = self.faults
+        assert plan is not None and env.msg_id is not None
+        if plan.is_crashed(env.dst, self.sim.now):
+            self.dropped += 1
+            self._on_fault("crash", env)
+            if obs.ENABLED:
+                obs.counter("transport.dropped", reason="crash").inc()
+            return
+        seen = self._seen.setdefault(env.dst, set())
+        if env.msg_id in seen:
+            # Duplicate or retransmitted copy: never re-dispatch, but re-ack
+            # so a lost ack cannot stall the sender forever.
+            self.dedup_hits += 1
+            if obs.ENABLED:
+                obs.counter("transport.dedup_hits").inc()
+            self._send_ack(env)
+            return
+        seen.add(env.msg_id)
+        if self.tracer is not None:
+            self.tracer.on_deliver(
+                HopRecord(env.src, env.dst, env.kind, env.sent_at, self.sim.now)
+            )
+        if obs.ENABLED:
+            obs.counter("transport.delivered").inc()
+            obs.histogram("transport.hop_latency").observe(self.sim.now - env.sent_at)
+        try:
+            self._handlers[env.dst](env)
+        finally:
+            # Ack even when the handler raises: the delivery was consumed
+            # (dedup marked it seen), so the sender must stop retransmitting
+            # — otherwise counters and pending-ack state drift.
+            self._send_ack(env)
+
+    def _send_ack(self, env: Envelope) -> None:
+        """Ack one delivered copy, dst -> src; acks ride the same faulty
+        links (drop + jitter) but are never duplicated or retried."""
+        plan = self.faults
+        assert plan is not None and env.msg_id is not None
+        self.acks += 1
+        if obs.ENABLED:
+            obs.counter("transport.acks").inc()
+        if self.tracer is not None:
+            self.tracer.on_send(env.dst, env.src, MessageKind.ACK, self.sim.now)
+        if plan.roll_drop():
+            self.dropped += 1
+            self._on_fault(
+                "drop",
+                Envelope(env.dst, env.src, MessageKind.ACK, {}, self.sim.now),
+            )
+            if obs.ENABLED:
+                obs.counter("transport.dropped", reason="drop").inc()
+            return
+        msg_id = env.msg_id
+        self.sim.schedule_after(
+            self.latency + plan.roll_jitter(),
+            lambda: self._ack_received(msg_id),
+            label="transport.ack",
+        )
+
+    def _ack_received(self, msg_id: int) -> None:
+        pending = self._pending.pop(msg_id, None)
+        if pending is None:
+            return  # already acked (earlier copy) or already declared failed
+        self._untrack(pending.env)
+
+    def _on_timeout(self, msg_id: int, expected_attempts: int) -> None:
+        pending = self._pending.get(msg_id)
+        if pending is None or pending.attempts != expected_attempts:
+            return  # acked meanwhile, or a newer transmission owns the timer
+        env = pending.env
+        if pending.attempts > self.max_retries:
+            del self._pending[msg_id]
+            self._untrack(env)
+            self.failed += 1
+            self._on_fault("give_up", env, detail=f"attempts={pending.attempts}")
+            if obs.ENABLED:
+                obs.counter("transport.failed").inc()
+            if pending.on_failed is not None:
+                pending.on_failed(env)
+            return
+        self.retries += 1
+        if obs.ENABLED:
+            obs.counter("transport.retries").inc()
+        self._on_fault("retry", env, detail=f"attempt={pending.attempts + 1}")
+        self._transmit(pending)
+
+    # ---------------------------------------------------------------- drain
+
     @property
     def in_flight(self) -> int:
-        """Envelopes sent but not yet delivered."""
+        """Logical messages sent but not yet delivered (perfect network) or
+        not yet acked/failed (reliable mode)."""
         return self._in_flight
 
-    def drain(self) -> None:
+    def in_flight_kinds(self) -> Dict[str, int]:
+        """Per-kind breakdown of :attr:`in_flight` (diagnostics)."""
+        return {kind: n for kind, n in self._in_flight_kinds.items() if n > 0}
+
+    def fault_counters(self) -> Dict[str, int]:
+        """Snapshot of the reliability counters (all zero on a fault-free run)."""
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "retries": self.retries,
+            "failed": self.failed,
+            "dedup_hits": self.dedup_hits,
+            "acks": self.acks,
+        }
+
+    def drain(self, max_steps: Optional[int] = None) -> None:
         """Step the simulator (in time order) until no envelopes are in flight.
 
         Events that happen to be scheduled before the last delivery — e.g.
         cascaded sends — run as part of the drain; callers interleaving other
         periodic tasks should keep per-hop latency below their task periods.
+
+        ``max_steps`` (default :attr:`drain_max_steps`) bounds the number of
+        simulator steps: two handlers that re-send on every delivery would
+        otherwise loop forever.  Exceeding the budget raises
+        :exc:`TransportDrainError` naming the in-flight message kinds.
         """
-        while self._in_flight > 0 and self.sim.step():
-            pass
+        budget = self.drain_max_steps if max_steps is None else max_steps
+        if budget < 1:
+            raise ValueError("max_steps must be positive")
+        steps = 0
+        while self._in_flight > 0:
+            if steps >= budget:
+                raise TransportDrainError(
+                    f"drain exceeded {budget} step(s) with {self._in_flight} "
+                    f"message(s) still in flight {self.in_flight_kinds()}; "
+                    "likely a handler livelock (handlers re-sending on every "
+                    "delivery) — pass a larger max_steps only if the traffic "
+                    "is legitimate"
+                )
+            if not self.sim.step():
+                break
+            steps += 1
 
     def fresh_id(self) -> int:
-        """Unique id for request/response correlation."""
+        """Unique id for request/response correlation and reliable delivery."""
         return next(self._ids)

@@ -16,7 +16,7 @@ from typing import List, Optional, Tuple, TypeVar
 
 _T = TypeVar("_T")
 
-__all__ = ["EventSpan", "HopRecord", "Tracer", "RecordingTracer"]
+__all__ = ["EventSpan", "HopRecord", "FaultRecord", "Tracer", "RecordingTracer"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,25 @@ class HopRecord:
         return self.delivered_at - self.sent_at
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault or reliability event on the transport.
+
+    ``fault`` is one of ``"drop"`` (the copy vanished), ``"duplicate"`` (an
+    extra copy was scheduled), ``"jitter"`` (a copy was delayed; ``detail``
+    holds the extra delay), ``"crash"`` (delivery suppressed at a crashed
+    site), ``"retry"`` (a timed-out message was retransmitted), and
+    ``"give_up"`` (the retry cap was exhausted and the sender was notified).
+    """
+
+    fault: str
+    src: str
+    dst: str
+    kind: str
+    at: float
+    detail: str = ""
+
+
 class Tracer:
     """No-op tracer: subclass and override the hooks you care about."""
 
@@ -69,6 +88,9 @@ class Tracer:
 
     def on_deliver(self, record: HopRecord) -> None:
         """An envelope reached its destination handler."""
+
+    def on_fault(self, record: FaultRecord) -> None:
+        """The transport injected a fault or reacted to one (retry/give-up)."""
 
 
 class RecordingTracer(Tracer):
@@ -82,6 +104,7 @@ class RecordingTracer(Tracer):
         self.spans: List[EventSpan] = []
         self.sends: List[Tuple[str, str, str, float]] = []
         self.deliveries: List[HopRecord] = []
+        self.faults: List[FaultRecord] = []
 
     def _push(self, records: List[_T], item: _T) -> None:
         records.append(item)
@@ -97,13 +120,17 @@ class RecordingTracer(Tracer):
     def on_deliver(self, record: HopRecord) -> None:
         self._push(self.deliveries, record)
 
+    def on_fault(self, record: FaultRecord) -> None:
+        self._push(self.faults, record)
+
     def clear(self) -> None:
         self.spans.clear()
         self.sends.clear()
         self.deliveries.clear()
+        self.faults.clear()
 
     def __repr__(self) -> str:
         return (
             f"RecordingTracer(spans={len(self.spans)}, sends={len(self.sends)}, "
-            f"deliveries={len(self.deliveries)})"
+            f"deliveries={len(self.deliveries)}, faults={len(self.faults)})"
         )

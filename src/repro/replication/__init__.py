@@ -3,7 +3,7 @@
 from .adr import AdrObject
 from .aps import AdaptivePrecision
 from .asr import SwatAsr
-from .async_asr import AsyncSwatAsr
+from .async_asr import DEGRADED_WIDEN_FACTOR, AsyncSwatAsr, QueryOutcome
 from .base import ReplicationProtocol, uniform_tolerance
 from .divergence import EVENT_WINDOW, DivergenceCaching, optimal_refresh_width
 from .harness import (
@@ -19,6 +19,8 @@ __all__ = [
     "AdrObject",
     "SwatAsr",
     "AsyncSwatAsr",
+    "QueryOutcome",
+    "DEGRADED_WIDEN_FACTOR",
     "ReplicationProtocol",
     "uniform_tolerance",
     "DivergenceCaching",

@@ -13,21 +13,94 @@ implementation: identical message counts, identical answers, identical
 directory state (asserted in ``tests/test_async_asr.py``).  With positive
 latency the protocol exhibits what a real deployment would: stale reads in
 flight, delayed refreshes, and measurable round-trip times.
+
+Fault tolerance
+---------------
+Constructed with a :class:`~repro.network.faults.FaultPlan`, the system keeps
+answering through message loss and site churn instead of raising:
+
+* a query whose root-ward forward exhausts its retries (the parent is
+  crashed or the link too lossy) is answered from the forwarding site's
+  **last-known summary** with a *widened* precision interval
+  (:data:`DEGRADED_WIDEN_FACTOR`) and a staleness stamp;
+* a response chain lost beyond the retry cap falls back to the issuing
+  client's own last-known summary (same widening + stamp) — every query gets
+  an answer;
+* an update that cannot reach a subscribed child marks that ``(child,
+  segment)`` pair *unsynced*; the parent re-syncs the child with a fresh
+  UPDATE as soon as it is reachable again (checked on every arrival and
+  phase boundary);
+* every UPDATE/INSERT carries the sender's monotone sequence number;
+  retransmission and jitter can deliver two pushes for the same segment out
+  of order, and the version guard stops the stale one from overwriting the
+  fresh one (on a loss-free network the guard never fires);
+* a query issued at a crashed site is served by its local stub from the
+  site's last-known directory, stamped degraded.
+
+Every answer is recorded as a :class:`QueryOutcome` carrying the value, a
+covering interval, the degraded flag, and the staleness stamp, so harnesses
+can verify the acceptance property: the interval covers the truth *or* the
+answer is stamped stale.  The root-ward width-monotonicity contract knows
+about the degraded state: unsynced pairs and crashed sites are excused
+(:func:`repro.contracts.check_async_asr`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple, cast
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple, cast
 
+from .. import contracts
 from ..core.queries import InnerProductQuery
 from ..metrics.error import GroundTruthWindow
 from ..network.directory import Directory, DirectoryRow, Segment
+from ..network.faults import FaultPlan
 from ..network.messages import MessageKind, MessageStats
 from ..network.topology import Topology
 from ..network.transport import Envelope, Transport
+from ..obs import metrics as obs
 from ..simulate.events import Simulator
 
-__all__ = ["AsyncSwatAsr"]
+__all__ = ["AsyncSwatAsr", "QueryOutcome", "DEGRADED_WIDEN_FACTOR"]
+
+#: Degraded answers multiply the last-known range width by this factor: the
+#: summary may have drifted while the site was partitioned, so the served
+#: interval hedges beyond the stored precision.
+DEGRADED_WIDEN_FACTOR = 2.0
+
+#: Internal answer payload: estimates + halfwidths + provenance metadata.
+_AnswerPayload = Mapping[str, Any]
+_AnswerCallback = Callable[[_AnswerPayload], None]
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One answered query, with its precision claim and provenance.
+
+    ``interval`` is the served confidence interval ``[value - slack,
+    value + slack]``; for a non-degraded answer the protocol guarantees it
+    covers the true inner product at serve time.  ``degraded`` marks answers
+    served from a last-known summary after a failure; those carry
+    ``stale_since`` — the virtual time the serving site last synced the
+    oldest queried segment (``None`` when it never has).
+    """
+
+    client: str
+    value: float
+    interval: Tuple[float, float]
+    degraded: bool
+    stale_since: Optional[float]
+    served_by: str
+    issued_at: float
+    answered_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.answered_at - self.issued_at
+
+    def covers(self, truth: float, tolerance: float = 1e-9) -> bool:
+        """True when the served interval contains ``truth``."""
+        return self.interval[0] - tolerance <= truth <= self.interval[1] + tolerance
 
 
 class _Site:
@@ -39,48 +112,137 @@ class _Site:
         self.directory = Directory(system.window_size)
         # qid -> ("child", child_id) | ("local", callback)
         self.pending: Dict[int, Tuple[str, object]] = {}
+        #: Last virtual time an UPDATE/INSERT for the segment was applied
+        #: here (staleness stamps for degraded answers).
+        self.last_update_at: Dict[Segment, float] = {}
+        #: child -> segments whose updates could not be delivered; re-synced
+        #: when the child becomes reachable again.
+        self.unsynced: Dict[str, Set[Segment]] = {}
+        self._resync_scheduled = False
+        # Update sequencing: retransmission and jitter can reorder two pushes
+        # for the same segment on the same edge, letting a stale range
+        # overwrite a fresh one.  Every push carries this site's monotone
+        # sequence number; the receiver rejects anything at or below the
+        # version it last applied (updates flow only parent -> child, so the
+        # per-sender sequence totally orders each receiver's update stream).
+        self._push_seq = 0
+        self._applied_version: Dict[Segment, int] = {}
 
     # --------------------------------------------------------------- queries
 
-    def issue_query(
-        self, query: InnerProductQuery, callback: Callable[[Dict[int, float]], None]
-    ) -> None:
-        estimates = self._try_satisfy(query, from_child=None)
-        if estimates is not None:
-            callback(estimates)
-            return
+    def issue_query(self, query: InnerProductQuery, callback: _AnswerCallback) -> Optional[int]:
+        """Answer locally or forward root-ward; returns the correlation id
+        of a forwarded query (``None`` when answered on the spot)."""
+        payload = self._try_satisfy(query, from_child=None)
+        if payload is not None:
+            callback(payload)
+            return None
         qid = self.system.transport.fresh_id()
         self.pending[qid] = ("local", callback)
         self._forward_query(qid, query)
+        return qid
 
     def _forward_query(self, qid: int, query: InnerProductQuery) -> None:
         parent = self.system.topology.parent(self.id)
+        assert parent is not None  # the root always satisfies
         self.system.transport.send(
-            self.id, parent, MessageKind.QUERY, {"qid": qid, "query": query}
+            self.id,
+            parent,
+            MessageKind.QUERY,
+            {"qid": qid, "query": query},
+            on_failed=lambda env: self._on_forward_failed(qid, query),
         )
 
     def _try_satisfy(
         self, query: InnerProductQuery, from_child: Optional[str]
-    ) -> Optional[Dict[int, float]]:
+    ) -> Optional[_AnswerPayload]:
         """Figure 8(a) query branch: whole-query precision test at this site."""
         by_segment = self.system.group_by_segment(query)
         weights = dict(zip(query.indices, query.weights))
         if self.id == self.system.topology.root:
             for seg in by_segment:
                 self._count_read(self.directory.row(seg), from_child)
-            return {i: self.system.window[i] for i in query.indices}
+            estimates = {i: self.system.window[i] for i in query.indices}
+            return {
+                "estimates": estimates,
+                "halfwidths": {i: 0.0 for i in query.indices},
+                "served_by": self.id,
+            }
         offered = 0.0
         for seg, indices in by_segment.items():
-            offered += sum(weights[i] for i in indices) * self.directory.row(seg).width
+            offered += sum(weights[i] for i in indices) * self._trusted_width(seg)
         if offered > query.precision:
             return None
-        estimates: Dict[int, float] = {}
+        estimates = {}
+        halfwidths: Dict[int, float] = {}
         for seg, indices in by_segment.items():
             row = self.directory.row(seg)
             self._count_read(row, from_child)
             for idx in indices:
                 estimates[idx] = row.midpoint
-        return estimates
+                halfwidths[idx] = row.width / 2.0
+        return {"estimates": estimates, "halfwidths": halfwidths, "served_by": self.id}
+
+    def _trusted_width(self, seg: Segment) -> float:
+        """The precision this site can honestly offer for ``seg``: the cached
+        range width, or infinity for rows it must not trust — uncached rows
+        and rows last synced before the site's own most recent crash recovery
+        (a restarted process knows it restarted; anything older than the
+        restart may have missed updates, so the query forwards root-ward for
+        a fresh answer instead)."""
+        row = self.directory.row(seg)
+        if not row.is_cached or self._suspect(seg):
+            return float("inf")
+        return row.width
+
+    def _suspect(self, seg: Segment) -> bool:
+        """True when the row was last synced before this site's most recent
+        recovery from a crash window."""
+        plan = self.system.transport.faults
+        if plan is None:
+            return False
+        recovered_at = plan.last_recovery_before(self.id, self.system.sim.now)
+        if recovered_at is None:
+            return False
+        seen_at = self.last_update_at.get(seg)
+        return seen_at is None or seen_at < recovered_at
+
+    def degraded_payload(self, query: InnerProductQuery) -> _AnswerPayload:
+        """Last-known answer with widened halfwidths and a staleness stamp.
+
+        Served when the root-ward path is unreachable: cached rows answer
+        with their midpoint and ``DEGRADED_WIDEN_FACTOR``-widened width,
+        uncached rows answer 0 with an infinite halfwidth.  The stamp is the
+        oldest last-sync time over the queried segments (``None`` when the
+        site has never synced one of them).
+        """
+        by_segment = self.system.group_by_segment(query)
+        estimates: Dict[int, float] = {}
+        halfwidths: Dict[int, float] = {}
+        stale_since: Optional[float] = None
+        never_synced = False
+        for seg, indices in by_segment.items():
+            row = self.directory.row(seg)
+            if row.is_cached:
+                mid = row.midpoint
+                half = row.width * DEGRADED_WIDEN_FACTOR / 2.0
+            else:
+                mid, half = 0.0, float("inf")
+            for idx in indices:
+                estimates[idx] = mid
+                halfwidths[idx] = half
+            seen_at = self.last_update_at.get(seg)
+            if seen_at is None:
+                never_synced = True
+            elif stale_since is None or seen_at < stale_since:
+                stale_since = seen_at
+        return {
+            "estimates": estimates,
+            "halfwidths": halfwidths,
+            "served_by": self.id,
+            "degraded": True,
+            "stale_since": None if never_synced else stale_since,
+        }
 
     @staticmethod
     def _count_read(row: DirectoryRow, from_child: Optional[str]) -> None:
@@ -97,47 +259,148 @@ class _Site:
         elif env.kind == MessageKind.RESPONSE:
             self._handle_response(env)
         elif env.kind == MessageKind.UPDATE or env.kind == MessageKind.INSERT:
-            self.apply_update(env.payload["segment"], env.payload["range"])
+            self.apply_update(
+                env.payload["segment"],
+                env.payload["range"],
+                version=cast(Optional[int], env.payload.get("version")),
+            )
         elif env.kind == MessageKind.UNSUBSCRIBE:
             self.directory.row(env.payload["segment"]).subscribed.discard(env.src)
         else:  # pragma: no cover - transport validates kinds
             raise ValueError(f"unexpected envelope kind {env.kind!r}")
 
+    def _respond(self, child: str, payload: _AnswerPayload) -> None:
+        """Send a RESPONSE one hop down; a lost response is only counted —
+        the issuing client's local fallback guarantees an answer."""
+        self.system.transport.send(
+            self.id,
+            child,
+            MessageKind.RESPONSE,
+            payload,
+            on_failed=self.system._on_response_lost,
+        )
+
     def _handle_query(self, env: Envelope) -> None:
         qid, query = env.payload["qid"], env.payload["query"]
-        estimates = self._try_satisfy(query, from_child=env.src)
-        if estimates is not None:
-            self.system.transport.send(
-                self.id, env.src, MessageKind.RESPONSE,
-                {"qid": qid, "estimates": estimates},
-            )
+        payload = self._try_satisfy(query, from_child=env.src)
+        if payload is not None:
+            self._respond(env.src, {"qid": qid, **payload})
             return
         self.pending[qid] = ("child", env.src)
         self._forward_query(qid, query)
 
     def _handle_response(self, env: Envelope) -> None:
         qid = env.payload["qid"]
-        origin, target = self.pending.pop(qid)
+        entry = self.pending.pop(qid, None)
+        if entry is None:
+            # The query was already answered degraded: the root-ward forward
+            # was declared failed (its acks were lost) yet a copy got through
+            # and produced this late response.  First answer wins.
+            if obs.ENABLED:
+                obs.counter("asr.late_responses", site=self.id).inc()
+            return
+        origin, target = entry
         if origin == "child":
-            self.system.transport.send(
-                self.id, cast(str, target), MessageKind.RESPONSE, env.payload
-            )
+            self._respond(cast(str, target), env.payload)
         else:
-            cast(Callable[[Dict[int, float]], None], target)(env.payload["estimates"])
+            cast(_AnswerCallback, target)(env.payload)
 
-    def apply_update(self, seg: Segment, rng: Tuple[float, float]) -> None:
-        """Figure 8(a) update branch: enclosure-gated cascade."""
+    def _on_forward_failed(self, qid: int, query: InnerProductQuery) -> None:
+        """Root-ward forward exhausted its retries: serve the last-known
+        summary from *this* site instead of raising (Figure 8(a) degraded)."""
+        entry = self.pending.pop(qid, None)
+        if entry is None:
+            return  # already answered through another path
+        if obs.ENABLED:
+            obs.counter("asr.degraded_serves", site=self.id).inc()
+        origin, target = entry
+        payload = self.degraded_payload(query)
+        if origin == "child":
+            self._respond(cast(str, target), {"qid": qid, **payload})
+        else:
+            cast(_AnswerCallback, target)(payload)
+
+    def apply_update(
+        self, seg: Segment, rng: Tuple[float, float], version: Optional[int] = None
+    ) -> None:
+        """Figure 8(a) update branch: enclosure-gated cascade.
+
+        ``version`` is the sender's per-push sequence number; an update at or
+        below the version already applied here is a reordered stale copy and
+        is dropped (on a loss-free FIFO network versions only ever increase,
+        so the guard never fires and the zero-fault path is unchanged).
+        """
+        if version is not None:
+            if version <= self._applied_version.get(seg, 0):
+                if obs.ENABLED:
+                    obs.counter("asr.stale_updates_dropped", site=self.id).inc()
+                return
+            self._applied_version[seg] = version
         row = self.directory.row(seg)
         was_cached = row.is_cached
         enclosed = row.encloses(rng)
         row.approx = rng
+        self.last_update_at[seg] = self.system.sim.now
         if was_cached and not enclosed:
             row.write_count += 1
             for child in list(row.subscribed):
-                self.system.transport.send(
-                    self.id, child, MessageKind.UPDATE,
-                    {"segment": seg, "range": rng},
-                )
+                self.push_update(child, seg, rng, MessageKind.UPDATE)
+
+    def push_update(
+        self, child: str, seg: Segment, rng: Tuple[float, float], kind: str
+    ) -> None:
+        """Send UPDATE/INSERT to ``child``; an undeliverable push marks the
+        pair unsynced for re-sync once the child is reachable again."""
+        self._push_seq += 1
+        self.system.transport.send(
+            self.id,
+            child,
+            kind,
+            {"segment": seg, "range": rng, "version": self._push_seq},
+            on_failed=lambda env: self._on_push_failed(child, seg),
+        )
+
+    def _on_push_failed(self, child: str, seg: Segment) -> None:
+        if obs.ENABLED:
+            obs.counter("asr.unsynced_marks", site=self.id).inc()
+        self.unsynced.setdefault(child, set()).add(seg)
+        # Reconciliation loop: bounded per-message retries plus a periodic
+        # re-sync attempt, the standard shape for AP systems — the loop keeps
+        # rescheduling itself until every marked child has been repaired.
+        self._schedule_resync()
+
+    def _schedule_resync(self) -> None:
+        if self._resync_scheduled:
+            return
+        self._resync_scheduled = True
+        delay = self.system.transport.retry_timeout * 4.0
+        self.system.sim.schedule_after(
+            delay, self._resync_tick, label=f"asr.resync:{self.id}"
+        )
+
+    def _resync_tick(self) -> None:
+        self._resync_scheduled = False
+        self.resync()
+        if self.unsynced:
+            self._schedule_resync()
+
+    def resync(self) -> None:
+        """Re-push current ranges to children that missed updates and are
+        reachable again; undeliverable pushes re-mark themselves."""
+        transport = self.system.transport
+        for child in list(self.unsynced):
+            if not transport.is_up(child):
+                self._schedule_resync()  # still down: try again later
+                continue
+            segments = self.unsynced.pop(child)
+            for seg in sorted(segments, key=lambda s: (s.newest, s.oldest)):
+                row = self.directory.row(seg)
+                if not row.is_cached or child not in row.subscribed:
+                    continue  # the scheme moved on; nothing to restore
+                if obs.ENABLED:
+                    obs.counter("asr.resyncs", site=self.id).inc()
+                assert row.approx is not None
+                self.push_update(child, seg, row.approx, MessageKind.UPDATE)
 
 
 class AsyncSwatAsr:
@@ -151,6 +414,16 @@ class AsyncSwatAsr:
         Per-hop delivery delay in virtual seconds.
     sim:
         Optional shared simulator (a private one is created otherwise).
+    faults:
+        Optional :class:`~repro.network.faults.FaultPlan`; attaching one
+        turns on the transport's reliability sublayer and this protocol's
+        graceful degradation (see the module docstring).  ``None`` keeps the
+        perfect-network behavior bit-identical to before.
+    retry_timeout, max_retries:
+        Reliability tuning forwarded to the transport (fault mode only).
+    check_invariants:
+        Run :func:`repro.contracts.check_async_asr` after every arrival and
+        phase boundary; ``None`` defers to ``REPRO_CHECK_INVARIANTS``.
     """
 
     name = "SWAT-ASR (async)"
@@ -161,11 +434,22 @@ class AsyncSwatAsr:
         window_size: int,
         latency: float = 0.0,
         sim: Optional[Simulator] = None,
+        faults: Optional[FaultPlan] = None,
+        retry_timeout: Optional[float] = None,
+        max_retries: int = 3,
+        check_invariants: Optional[bool] = None,
     ) -> None:
         self.topology = topology
         self.window_size = window_size
         self.sim = sim or Simulator()
-        self.transport = Transport(self.sim, topology, latency=latency)
+        self.transport = Transport(
+            self.sim,
+            topology,
+            latency=latency,
+            faults=faults,
+            retry_timeout=retry_timeout,
+            max_retries=max_retries,
+        )
         self.window = GroundTruthWindow(window_size)
         self.sites: Dict[str, _Site] = {
             node: _Site(node, self) for node in topology.nodes
@@ -174,10 +458,17 @@ class AsyncSwatAsr:
             self.transport.register(node, site.handle)
         self._segments = self.sites[topology.root].directory.segments
         self.query_latencies: List[float] = []
+        self.query_outcomes: List[QueryOutcome] = []
+        self.last_query_hops = 0
+        self._check = contracts.resolve_check_flag(check_invariants)
 
     @property
     def stats(self) -> "MessageStats":
         return self.transport.stats
+
+    @property
+    def faults(self) -> Optional[FaultPlan]:
+        return self.transport.faults
 
     @property
     def is_warm(self) -> bool:
@@ -190,20 +481,41 @@ class AsyncSwatAsr:
             out.setdefault(root_dir.segment_of(idx), []).append(idx)
         return out
 
+    def _on_response_lost(self, env: Envelope) -> None:
+        if obs.ENABLED:
+            obs.counter("asr.lost_responses").inc()
+
+    def _resync_all(self) -> None:
+        """Give every site a chance to repair children that missed updates."""
+        for node in self.topology.nodes:
+            site = self.sites[node]
+            if site.unsynced:
+                site.resync()
+
     # ------------------------------------------------------------- data path
 
     def on_data(self, value: float, now: Optional[float] = None) -> None:
-        """A stream arrival at the source; update cascades are real messages."""
+        """A stream arrival at the source; update cascades are real messages.
+
+        With a fault plan attached, recovered children are re-synced first,
+        and a crashed source skips the cascade (the window still tracks the
+        true stream so recovery resumes from fresh ranges).
+        """
         if now is not None and now > self.sim.now:
             self.sim.run_until(now)
         self.window.update(value)
         if not self.is_warm:
             return
+        if self.faults is not None:
+            self._resync_all()
         source = self.sites[self.topology.root]
-        for seg in self._segments:
-            rng = self.window.segment_range(seg.newest, seg.oldest)
-            source.apply_update(seg, rng)
+        if self.transport.is_up(self.topology.root):
+            for seg in self._segments:
+                rng = self.window.segment_range(seg.newest, seg.oldest)
+                source.apply_update(seg, rng)
         self.transport.drain()
+        if self._check:
+            contracts.check_async_asr(self)
 
     # ------------------------------------------------------------ query path
 
@@ -212,27 +524,66 @@ class AsyncSwatAsr:
     ) -> float:
         """Issue a query and wait (in virtual time) for its answer.
 
-        Returns the answer and records the measured response latency in
-        :attr:`query_latencies`.
+        Returns the answer value; the full :class:`QueryOutcome` (interval,
+        degraded flag, staleness stamp, measured latency) is appended to
+        :attr:`query_outcomes`.  Under a fault plan this never raises: a
+        crashed client or a fully lost response chain degrades to the
+        client's last-known summary instead.
         """
         if not self.is_warm:
             raise RuntimeError("stream window not yet full; warm up before querying")
         if now is not None and now > self.sim.now:
             self.sim.run_until(now)
         issued_at = self.sim.now
-        box: Dict[str, float] = {}
+        box: Dict[str, Any] = {}
 
-        def deliver(estimates: Dict[int, float]) -> None:
-            weights = dict(zip(query.indices, query.weights))
-            box["answer"] = sum(weights[i] * estimates[i] for i in query.indices)
+        def deliver(payload: _AnswerPayload) -> None:
+            box["payload"] = payload
             box["at"] = self.sim.now
 
-        self.sites[client].issue_query(query, deliver)
-        self.transport.drain()
-        if "answer" not in box:  # pragma: no cover - drain guarantees delivery
-            raise RuntimeError("query was not answered after drain")
-        self.query_latencies.append(box["at"] - issued_at)
-        return box["answer"]
+        site = self.sites[client]
+        if not self.transport.is_up(client):
+            # The client site itself is down: its local stub answers from
+            # the last-known directory rather than erroring out.
+            deliver(site.degraded_payload(query))
+        else:
+            qid = site.issue_query(query, deliver)
+            self.transport.drain()
+            if "payload" not in box:
+                if self.faults is None:  # pragma: no cover - drain guarantees delivery
+                    raise RuntimeError("query was not answered after drain")
+                # The response chain was lost beyond the retry cap at some
+                # interior hop; serve the client's own last-known summary.
+                if qid is not None:
+                    site.pending.pop(qid, None)
+                deliver(site.degraded_payload(query))
+
+        payload = cast(_AnswerPayload, box["payload"])
+        weights = dict(zip(query.indices, query.weights))
+        estimates = cast(Dict[int, float], payload["estimates"])
+        halfwidths = cast(Dict[int, float], payload.get("halfwidths", {}))
+        value = sum(weights[i] * estimates[i] for i in query.indices)
+        slack = sum(abs(weights[i]) * halfwidths.get(i, 0.0) for i in query.indices)
+        served_by = cast(str, payload.get("served_by", client))
+        degraded = bool(payload.get("degraded", False))
+        if degraded and obs.ENABLED:
+            obs.counter("asr.degraded_answers").inc()
+        outcome = QueryOutcome(
+            client=client,
+            value=value,
+            interval=(value - slack, value + slack),
+            degraded=degraded,
+            stale_since=cast(Optional[float], payload.get("stale_since")),
+            served_by=served_by,
+            issued_at=issued_at,
+            answered_at=cast(float, box["at"]),
+        )
+        self.query_outcomes.append(outcome)
+        self.query_latencies.append(outcome.latency)
+        self.last_query_hops = 2 * (
+            self.topology.depth(client) - self.topology.depth(served_by)
+        )
+        return value
 
     # ------------------------------------------------------------- phase end
 
@@ -241,22 +592,29 @@ class AsyncSwatAsr:
         effects in the synchronous implementation's order at zero latency."""
         if now is not None and now > self.sim.now:
             self.sim.run_until(now)
+        if self.faults is not None:
+            self._resync_all()
         root = self.topology.root
         clients = sorted(self.topology.clients, key=self.topology.depth, reverse=True)
         for node in clients:
             site = self.sites[node]
+            if not self.transport.is_up(node):
+                continue  # a crashed site runs no contraction test this phase
             for seg in self._segments:
                 row = site.directory.row(seg)
                 if row.is_cached and not row.subscribed:
                     if row.local_reads < row.write_count:
                         row.approx = None
+                        parent = self.topology.parent(node)
+                        assert parent is not None
                         self.transport.send(
-                            node, self.topology.parent(node),
-                            MessageKind.UNSUBSCRIBE, {"segment": seg},
+                            node, parent, MessageKind.UNSUBSCRIBE, {"segment": seg}
                         )
             self.transport.drain()
         for node in self.topology.nodes:
             site = self.sites[node]
+            if not self.transport.is_up(node):
+                continue
             for seg in self._segments:
                 row = site.directory.row(seg)
                 if node != root and not row.is_cached:
@@ -264,22 +622,20 @@ class AsyncSwatAsr:
                     continue
                 for v in list(row.subscribed):
                     if row.write_count < row.read_counts.get(v, 0):
-                        self.transport.send(
-                            node, v, MessageKind.UPDATE,
-                            {"segment": seg, "range": row.approx},
-                        )
+                        assert row.approx is not None
+                        site.push_update(v, seg, row.approx, MessageKind.UPDATE)
                 for v in list(row.interested):
                     row.interested.discard(v)
                     if row.write_count < row.read_counts.get(v, 0):
                         row.subscribed.add(v)
-                        self.transport.send(
-                            node, v, MessageKind.INSERT,
-                            {"segment": seg, "range": row.approx},
-                        )
+                        assert row.approx is not None
+                        site.push_update(v, seg, row.approx, MessageKind.INSERT)
             self.transport.drain()
         for site in self.sites.values():
             for seg in self._segments:
                 site.directory.row(seg).reset_counts()
+        if self._check:
+            contracts.check_async_asr(self)
 
     # --------------------------------------------------------------- metrics
 
@@ -295,3 +651,7 @@ class AsyncSwatAsr:
         if not self.query_latencies:
             raise ValueError("no queries answered yet")
         return sum(self.query_latencies) / len(self.query_latencies)
+
+    def degraded_count(self) -> int:
+        """Answers served degraded (stale summary + widened interval)."""
+        return sum(1 for o in self.query_outcomes if o.degraded)

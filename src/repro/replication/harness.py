@@ -11,12 +11,16 @@ after a warm-up interval, matching the paper's methodology.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Protocol, Tuple
 
 import numpy as np
 
+from ..core.queries import InnerProductQuery
 from ..data.workload import RandomWorkload
+from ..metrics.error import GroundTruthWindow
+from ..network.messages import MessageStats
 from ..network.topology import Topology
+from ..network.transport import Transport
 from ..obs import metrics as obs
 from ..simulate.events import Simulator
 from ..simulate.tasks import PeriodicTask
@@ -25,9 +29,45 @@ from .asr import SwatAsr
 from .base import ReplicationProtocol
 from .divergence import DivergenceCaching
 
-__all__ = ["ReplicationConfig", "ReplicationResult", "run_replication", "make_protocol"]
+__all__ = [
+    "ReplicationConfig",
+    "ReplicationResult",
+    "ReplicationDriver",
+    "run_replication",
+    "make_protocol",
+]
 
 PROTOCOLS = ("SWAT-ASR", "DC", "APS")
+
+
+class ReplicationDriver(Protocol):
+    """What :func:`run_replication` needs from a protocol, structurally.
+
+    Satisfied by every :class:`~repro.replication.base.ReplicationProtocol`
+    subclass *and* by the actor-based
+    :class:`~repro.replication.async_asr.AsyncSwatAsr`, which shares the
+    callback surface without inheriting the base class (its messaging runs
+    through a real transport rather than counted calls).
+    """
+
+    name: str
+    topology: Topology
+    window: GroundTruthWindow
+    stats: MessageStats
+    last_query_hops: int
+
+    @property
+    def is_warm(self) -> bool: ...
+
+    def on_data(self, value: float, now: float = ...) -> None: ...
+
+    def on_query(
+        self, client: str, query: InnerProductQuery, now: float = ...
+    ) -> float: ...
+
+    def on_phase_end(self, now: float = ...) -> None: ...
+
+    def approximation_count(self) -> int: ...
 
 
 @dataclass
@@ -114,7 +154,7 @@ def make_protocol(
 
 
 def run_replication(
-    protocol: ReplicationProtocol,
+    protocol: ReplicationDriver,
     stream: np.ndarray,
     config: ReplicationConfig,
 ) -> ReplicationResult:
@@ -214,6 +254,18 @@ def run_replication(
         # Everything the registry accrued during measurement only (warm-up
         # arrivals/messages excluded by construction).
         meta["metrics"] = obs.snapshot_delta(obs.metrics_snapshot(), baseline)
+
+    # Fault-tolerance provenance: protocols running over a reliable transport
+    # (a FaultPlan attached) report injected-fault and degradation totals so
+    # results under chaos are auditable.  Totals are run-lifetime, not
+    # measurement-scoped — a degraded answer during warm-up is still a fact
+    # about the run.
+    transport = getattr(protocol, "transport", None)
+    if isinstance(transport, Transport) and transport.reliable:
+        meta["faults"] = transport.fault_counters()
+        degraded = getattr(protocol, "degraded_count", None)
+        if callable(degraded):
+            meta["degraded_answers"] = int(degraded())
 
     n_queries = state.queries
     return ReplicationResult(

@@ -93,16 +93,22 @@ class Simulator:
             action()
         else:
             start = time.perf_counter()
-            action()
-            tracer.on_event_span(
-                EventSpan(
-                    seq=seq,
-                    label=label or _label_of(action),
-                    scheduled_at=scheduled_at,
-                    fired_at=when,
-                    duration=time.perf_counter() - start,
+            try:
+                action()
+            finally:
+                # Emit the span even when the action raises: a trace that
+                # silently loses the very event that failed is useless for
+                # post-mortems, and downstream bookkeeping (e.g. transport
+                # in-flight counters) relies on step() not skipping hooks.
+                tracer.on_event_span(
+                    EventSpan(
+                        seq=seq,
+                        label=label or _label_of(action),
+                        scheduled_at=scheduled_at,
+                        fired_at=when,
+                        duration=time.perf_counter() - start,
+                    )
                 )
-            )
         return True
 
     def run_until(self, deadline: float) -> None:

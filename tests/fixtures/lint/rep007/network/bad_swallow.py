@@ -1,0 +1,22 @@
+"""REP007 bad fixture: bare except, broad catch, and a silent swallow."""
+
+
+def deliver(handlers, env):
+    try:
+        handlers[env.dst](env)
+    except:  # noqa: E722 - the rule under test
+        return None
+
+
+def retransmit(send, env):
+    try:
+        send(env)
+    except Exception:
+        return False
+
+
+def ack(pending, msg_id):
+    try:
+        del pending[msg_id]
+    except KeyError:
+        pass

@@ -1,0 +1,20 @@
+"""REP007 good fixture: specific handling, counted swallows, re-raises."""
+
+
+def deliver(handlers, env, counters):
+    try:
+        handlers[env.dst](env)
+    except KeyError:
+        counters["unroutable"] += 1
+
+
+def retransmit(send, env, log):
+    try:
+        send(env)
+    except Exception:
+        log.append(env)
+        raise
+
+
+def ack(pending, msg_id):
+    pending.pop(msg_id, None)

@@ -46,7 +46,7 @@ class TestCli:
     def test_every_experiment_has_a_driver(self):
         expected = {
             "fig4a", "fig4c", "fig5", "fig6a", "fig6b",
-            "fig9a", "fig9b", "fig9c", "fig10a", "fig10b", "space",
+            "fig9a", "fig9b", "fig9c", "fig10a", "fig10b", "space", "chaos",
         }
         assert set(EXPERIMENTS) == expected
 

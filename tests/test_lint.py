@@ -34,6 +34,7 @@ class TestRuleFixtures:
             ("REP004", fixture("rep004", "core", "bad_unguarded.py"), 2),
             ("REP005", fixture("rep005", "pkg", "bad_mutable_default.py"), 3),
             ("REP006", fixture("rep006", "core", "bad_scalar_loop.py"), 3),
+            ("REP007", fixture("rep007", "network", "bad_swallow.py"), 3),
         ],
     )
     def test_rule_fires_on_bad_fixture(self, rule, bad, expected_count):
@@ -49,6 +50,7 @@ class TestRuleFixtures:
             fixture("rep004", "core", "good_guarded.py"),
             fixture("rep005", "pkg", "good_mutable_default.py"),
             fixture("rep006", "core", "good_batched.py"),
+            fixture("rep007", "network", "good_handlers.py"),
         ],
     )
     def test_rule_quiet_on_good_fixture(self, good):
@@ -79,6 +81,12 @@ class TestScoping:
         src = "def f(eps, xs=[]):\n    return eps == 0.1\n"
         codes = sorted(f.code for f in check_source(src, "anything/at/all.py"))
         assert codes == ["REP003", "REP005"]
+
+    def test_rep007_scoped_to_fault_handling_layers(self):
+        src = "def f(d, k):\n    try:\n        del d[k]\n    except KeyError:\n        pass\n"
+        assert check_source(src, "pkg/experiments/report.py") == []
+        scoped = check_source(src, "pkg/replication/proto.py")
+        assert [f.code for f in scoped] == ["REP007"]
 
     def test_select_restricts_rules(self):
         src = "def f(eps, xs=[]):\n    return eps == 0.1\n"
@@ -123,6 +131,17 @@ class TestRuleSemantics:
         const = "def f(tree, vs, c):\n    for v in vs:\n        tree.update(c)\n"
         assert check_source(const, "pkg/core/swat.py") == []
 
+    def test_rep007_allows_broad_catch_that_reraises(self):
+        src = (
+            "def f(send, env, log):\n"
+            "    try:\n"
+            "        send(env)\n"
+            "    except Exception:\n"
+            "        log.append(env)\n"
+            "        raise\n"
+        )
+        assert check_source(src, "pkg/network/link.py") == []
+
     def test_rep004_accepts_nested_guard(self):
         src = (
             "from repro import obs\n"
@@ -138,7 +157,9 @@ class TestDriver:
     def test_lint_paths_walks_directories(self):
         findings = lint_paths([FIXTURES])
         codes = {f.code for f in findings}
-        assert codes == {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006"}
+        assert codes == {
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+        }
 
     def test_lint_paths_missing_target_raises(self):
         with pytest.raises(FileNotFoundError):
@@ -149,7 +170,7 @@ class TestDriver:
 
     def test_rule_registry_is_complete(self):
         assert [r.code for r in RULES] == [
-            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
         ]
 
 
@@ -184,5 +205,6 @@ class TestEntryPoints:
             cwd=REPO, capture_output=True, text=True,
         )
         assert proc.returncode == 0
-        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+        codes = ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007")
+        for code in codes:
             assert code in proc.stdout
