@@ -9,6 +9,8 @@ Usage::
     python -m repro stats fig9c --quick   # run + print a metrics report
     python -m repro fig6a --metrics-out m.json   # dump the registry as JSON
     python -m repro chaos --quick         # fault-injection robustness sweep
+    python -m repro trace tracedemo --quick       # run + causal-trace summary
+    python -m repro trace chaos --trace-out t.json  # Perfetto trace export
     python -m repro check src             # repo-specific AST lint (REP001-007)
 
 ``stats`` (and ``--metrics-out`` on any experiment) turns on
@@ -16,6 +18,12 @@ Usage::
 ``"repro"`` logger (``-vv`` for debug, e.g. ADR phase decisions).  When a
 run injected faults, ``stats`` appends a fault-injection section (drops,
 retries, degraded answers — see ``docs/robustness.md``).
+
+``trace`` (and ``--trace-out`` on any experiment) installs a process-wide
+causal tracer before the run, prints capture totals plus the slowest
+query's critical path, and — with ``--trace-out FILE`` — exports every span
+tree as Chrome trace-event JSON loadable in Perfetto (see
+``docs/observability.md``, "Causal tracing").
 
 The heavy lifting lives in :mod:`repro.experiments`; this module only maps
 figure ids to drivers and formats the output.
@@ -45,7 +53,10 @@ from .experiments import (
     fig9c_precision_sweep,
     format_table,
     space_complexity,
+    trace_chaos_demo,
 )
+from .obs.causal import CausalTracer, enable_causal, format_critical_path
+from .obs.chrome import write_chrome
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -152,6 +163,17 @@ def _chaos(quick: bool) -> str:
     )
 
 
+def _tracedemo(quick: bool) -> str:
+    from .obs import causal as causal_mod
+
+    n = 8 if quick else 24
+    rows = trace_chaos_demo(n_queries=n, tracer=causal_mod.current_causal())
+    return format_table(
+        rows,
+        "Causal tracing: per-query span trees under drop/duplication/crash faults",
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig4a": _fig4a,
     "fig4c": _fig4c,
@@ -165,6 +187,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig10b": _fig10b,
     "space": _space,
     "chaos": _chaos,
+    "tracedemo": _tracedemo,
 }
 
 #: Counter-name prefixes that describe injected faults and the protocol's
@@ -222,6 +245,42 @@ def _dump_metrics(path: Optional[str]) -> None:
     print(f"metrics written to {path}", file=sys.stderr)
 
 
+def _render_trace_summary(tracer: CausalTracer) -> str:
+    """A ``repro trace`` section: capture totals plus the slowest query's
+    critical path (the first thing one looks at in a latency investigation)."""
+    lines = [
+        "== causal traces ==",
+        f"  traces={len(tracer.trace_ids())} spans={len(tracer)} "
+        f"dropped={tracer.dropped} orphans={len(tracer.orphan_spans())}",
+    ]
+    queries = [
+        t for t in tracer.trees() if t.root.name == "query" and t.root.finished
+    ]
+    if queries:
+        slowest = max(queries, key=lambda t: t.duration)
+        lines.append(
+            f"  slowest query: trace {slowest.root.trace_id} "
+            f"@ {slowest.root.site or '?'} "
+            f"duration={slowest.duration:.6f}s hops={slowest.hop_count()}"
+        )
+        lines.append(format_critical_path(slowest.critical_path()))
+    return "\n".join(lines)
+
+
+def _dump_trace(
+    path: Optional[str], tracer: Optional[CausalTracer], experiment: str
+) -> None:
+    if path is None or tracer is None:
+        return
+    write_chrome(tracer, path, metadata={"experiment": experiment})
+    print(
+        f"chrome trace written to {path} "
+        f"({len(tracer.trace_ids())} traces, {len(tracer)} spans); "
+        "open with https://ui.perfetto.dev or chrome://tracing",
+        file=sys.stderr,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -230,14 +289,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'all', 'report', 'list', "
-        "'stats <experiment>' for a run followed by a metrics report, or "
-        "'check [paths...]' for the repo-specific AST linter",
+        "'stats <experiment>' for a run followed by a metrics report, "
+        "'trace <experiment>' for a run with causal tracing and a trace "
+        "summary, or 'check [paths...]' for the repo-specific AST linter",
     )
     parser.add_argument(
         "target",
         nargs="*",
         default=[],
-        help="experiment id (with 'stats') or paths to lint (with 'check')",
+        help="experiment id (with 'stats'/'trace') or paths to lint "
+        "(with 'check')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="scaled-down, much faster runs"
@@ -251,6 +312,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="FILE",
         help="enable observability and dump the metrics registry as JSON "
         "to FILE after the run",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="enable causal tracing and write the run's span trees to FILE "
+        "as Chrome trace-event JSON (openable in Perfetto)",
     )
     parser.add_argument(
         "-v",
@@ -272,11 +340,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not os.path.isdir(parent):
             print(f"--metrics-out: directory {parent!r} does not exist", file=sys.stderr)
             return 2
+    if args.trace_out is not None:
+        if not args.trace_out:
+            print("--trace-out: empty path", file=sys.stderr)
+            return 2
+        parent = os.path.dirname(args.trace_out) or "."
+        if not os.path.isdir(parent):
+            print(f"--trace-out: directory {parent!r} does not exist", file=sys.stderr)
+            return 2
     if args.metrics_out is not None or args.experiment == "stats":
         obs.enable()
+    tracer: Optional[CausalTracer] = None
+    if args.trace_out is not None or args.experiment == "trace":
+        # Cap memory: a runaway run samples out whole traces past the cap
+        # (reported as dropped) instead of growing without bound.
+        tracer = enable_causal(max_spans=250_000)
 
-    if args.target and args.experiment not in ("stats", "check"):
-        print("extra arguments are only valid with 'stats' or 'check'", file=sys.stderr)
+    if args.target and args.experiment not in ("stats", "check", "trace"):
+        print(
+            "extra arguments are only valid with 'stats', 'trace', or 'check'",
+            file=sys.stderr,
+        )
         return 2
 
     if args.experiment == "check":
@@ -301,6 +385,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
             print(fault_section)
         _dump_metrics(args.metrics_out)
+        _dump_trace(args.trace_out, tracer, target)
+        return 0
+
+    if args.experiment == "trace":
+        if len(args.target) != 1:
+            print("usage: repro trace <experiment> (see 'list')", file=sys.stderr)
+            return 2
+        target = args.target[0]
+        if target not in EXPERIMENTS:
+            print(f"unknown experiment {target!r}; try 'list'", file=sys.stderr)
+            return 2
+        assert tracer is not None
+        print(EXPERIMENTS[target](args.quick))
+        print()
+        print(_render_trace_summary(tracer))
+        _dump_metrics(args.metrics_out)
+        _dump_trace(args.trace_out, tracer, target)
         return 0
 
     if args.experiment == "report":
@@ -314,6 +415,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(text)
         _dump_metrics(args.metrics_out)
+        _dump_trace(args.trace_out, tracer, "report")
         return 0
 
     if args.experiment == "list":
@@ -328,12 +430,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(fn(args.quick))
             print()
         _dump_metrics(args.metrics_out)
+        _dump_trace(args.trace_out, tracer, "all")
         return 0
     if args.experiment not in EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2
     print(EXPERIMENTS[args.experiment](args.quick))
     _dump_metrics(args.metrics_out)
+    _dump_trace(args.trace_out, tracer, args.experiment)
     return 0
 
 

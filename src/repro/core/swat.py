@@ -32,6 +32,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import contracts
+from ..obs import causal as causal_mod
 from ..obs import metrics as obs
 from ..wavelets.haar import (
     batch_combine_haar,
@@ -179,6 +180,9 @@ class Swat:
         self.n_levels = n_levels
         self._is_haar = wavelet in ("haar", "db1")
         self._check_invariants = contracts.resolve_check_flag(check_invariants)
+        # Ambient causal tracer (None when tracing is off); maintenance and
+        # query spans run on the perf_counter clock.
+        self.causal = causal_mod.current_causal()
         self._time = 0
         # Raw ring buffer feeding the coarsest maintained level; for
         # min_level == 0 it is just the last two values (the paper's
@@ -240,7 +244,11 @@ class Swat:
         """Ingest one stream value (the Update_Tree procedure of Figure 3(a))."""
         # Instrumentation (repro.obs) is guarded so a metrics-off process
         # pays only the module-attribute checks on this hot path.
-        _t0 = time.perf_counter() if obs.ENABLED else None
+        _t0 = (
+            time.perf_counter()
+            if obs.ENABLED or self.causal is not None
+            else None
+        )
         value = float(value)
         require_finite(value)
         self._time += 1
@@ -258,12 +266,18 @@ class Swat:
                 lv[Role.RIGHT].set_contents(coeffs, t, deviation, positions)
         if self._check_invariants:
             contracts.check_swat(self)
-        if _t0 is not None:
+        if obs.ENABLED and _t0 is not None:
             obs.counter("swat.arrivals").inc()
             shifted = max_level + 1 - self.min_level
             if shifted > 0:
                 obs.counter("swat.levels_shifted").inc(shifted)
             obs.histogram("swat.maintenance.latency").observe(time.perf_counter() - _t0)
+        if self.causal is not None and _t0 is not None:
+            # In-process spans run on the perf_counter clock (never mixed
+            # with virtual-time spans inside one trace).
+            self.causal.start_span("swat.update", at=_t0, site="swat").finish(
+                time.perf_counter(), levels=max_level + 1 - self.min_level
+            )
 
     def extend(self, values: Iterable[float]) -> None:
         """Ingest many values in arrival order.
@@ -304,7 +318,11 @@ class Swat:
         b = int(block.size)
         if b == 0:
             return
-        _t0 = time.perf_counter() if obs.ENABLED else None
+        _t0 = (
+            time.perf_counter()
+            if obs.ENABLED or self.causal is not None
+            else None
+        )
         require_finite(block)
         t0 = self._time
         tend = t0 + b
@@ -410,7 +428,7 @@ class Swat:
             _set_from_batch(lv[Role.RIGHT], rows, devs, count - 1, first, lstep)
         if self._check_invariants:
             contracts.check_swat(self)
-        if _t0 is not None:
+        if obs.ENABLED and _t0 is not None:
             obs.counter("swat.arrivals").inc(b)
             shifted = 0
             for level in range(m, self.n_levels):
@@ -419,6 +437,10 @@ class Swat:
                 obs.counter("swat.levels_shifted").inc(shifted)
             obs.counter("swat.batches").inc()
             obs.histogram("swat.batch.latency").observe(time.perf_counter() - _t0)
+        if self.causal is not None and _t0 is not None:
+            self.causal.start_span("swat.extend", at=_t0, site="swat").finish(
+                time.perf_counter(), values=b
+            )
 
     def _carry_node(self, level: int, end_time: int) -> SwatNode:
         """Pre-block node of ``level`` whose segment ends at ``end_time``.
@@ -590,13 +612,17 @@ class Swat:
         ``error_bound``; :meth:`can_answer` compares it to the query's
         precision requirement.
         """
-        _t0 = time.perf_counter() if obs.ENABLED else None
+        _t0 = (
+            time.perf_counter()
+            if obs.ENABLED or self.causal is not None
+            else None
+        )
         est, nodes_used, n_extrapolated = self._estimate(list(query.indices))
         value = float(np.dot(np.asarray(query.weights, dtype=np.float64), est))
         bound = None
         if self.track_deviation:
             bound = self._certified_bound(query, n_extrapolated)
-        if _t0 is not None:
+        if obs.ENABLED and _t0 is not None:
             obs.counter("swat.queries").inc()
             obs.histogram("swat.query.cover_size", buckets=obs.COUNT_BUCKETS).observe(
                 len(nodes_used)
@@ -604,6 +630,10 @@ class Swat:
             if n_extrapolated:
                 obs.counter("swat.extrapolations").inc(n_extrapolated)
             obs.histogram("swat.query.latency").observe(time.perf_counter() - _t0)
+        if self.causal is not None and _t0 is not None:
+            self.causal.start_span("swat.answer", at=_t0, site="swat").finish(
+                time.perf_counter(), cover=len(nodes_used)
+            )
         return QueryAnswer(value, est, nodes_used, n_extrapolated, bound)
 
     def _certified_bound(self, query: InnerProductQuery, n_extrapolated: int) -> float:

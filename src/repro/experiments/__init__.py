@@ -18,6 +18,7 @@ from .distributed import (
     fig9c_precision_sweep,
     replication_dataset,
     space_complexity,
+    trace_chaos_demo,
 )
 from .report import generate_report
 
@@ -37,5 +38,6 @@ __all__ = [
     "replication_dataset",
     "space_complexity",
     "fault_tolerance_demo",
+    "trace_chaos_demo",
     "generate_report",
 ]

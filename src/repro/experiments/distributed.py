@@ -8,14 +8,16 @@ renders them.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple, cast
+from typing import Dict, List, Optional, Sequence, Tuple, cast
 
 import numpy as np
 
 from ..data.synthetic import uniform_stream
 from ..data.weather import santa_barbara_temps
+from ..data.workload import RandomWorkload
 from ..network.faults import CrashWindow, FaultPlan
 from ..network.topology import Topology
+from ..obs.causal import CausalTracer
 from ..replication.async_asr import AsyncSwatAsr
 from ..replication.harness import (
     PROTOCOLS,
@@ -32,6 +34,7 @@ __all__ = [
     "space_complexity",
     "replication_dataset",
     "fault_tolerance_demo",
+    "trace_chaos_demo",
 ]
 
 
@@ -260,6 +263,90 @@ def fault_tolerance_demo(
                 "dedup_hits": counters.get("dedup_hits", 0),
                 "degraded_answers": result.meta.get("degraded_answers", 0),
                 "queries": result.n_queries,
+            }
+        )
+    return rows
+
+
+def trace_chaos_demo(
+    n_clients: int = 6,
+    window_size: int = 32,
+    latency: float = 0.05,
+    drop_rate: float = 0.15,
+    duplicate_rate: float = 0.05,
+    jitter: float = 0.02,
+    n_queries: int = 12,
+    query_period: float = 1.0,
+    seed: int = 0,
+    tracer: Optional[CausalTracer] = None,
+) -> List[dict]:
+    """Quick chaos scenario with per-query causal traces.
+
+    Runs async SWAT-ASR on a binary tree under a seeded fault plan (drops,
+    duplicates, jitter, and one interior-site crash spanning the middle
+    third of the run) and returns one row per answered query: its trace id,
+    measured latency, hop count, degraded flag, and the span name that
+    dominated its critical path.  The critical-path sum equals the measured
+    latency for every query — the acceptance property of the causal layer.
+
+    Pass ``tracer`` to keep the span trees (e.g. for Chrome export); a
+    fresh private tracer is used otherwise.
+    """
+    causal = tracer if tracer is not None else CausalTracer(seed=seed)
+    topo = Topology.complete_binary_tree(n_clients)
+    interior = next(n for n in topo.nodes if n != topo.root and topo.children(n))
+    fill = float(window_size)
+    run_span = n_queries * query_period
+    plan = FaultPlan(
+        seed=seed + 1,
+        drop_rate=drop_rate,
+        duplicate_rate=duplicate_rate,
+        jitter=jitter,
+        crashes=(
+            CrashWindow(interior, fill + run_span / 3.0, fill + 2.0 * run_span / 3.0),
+        ),
+    )
+    protocol = AsyncSwatAsr(
+        topo,
+        window_size,
+        latency=latency,
+        faults=plan,
+        retry_timeout=0.1,
+        max_retries=2,
+        causal=causal,
+    )
+    stream, __ = replication_dataset("synthetic", seed=seed)
+    for i in range(window_size):
+        protocol.on_data(float(stream[i]), now=float(i))
+    workload = RandomWorkload(
+        window_size,
+        max_length=MAX_QUERY_LENGTH,
+        precision_low=2.0,
+        precision_high=10.0,
+        seed=seed,
+    )
+    clients = topo.clients
+    for q in range(n_queries):
+        at = fill + q * query_period
+        protocol.on_data(float(stream[window_size + q]), now=at)
+        protocol.on_query(clients[q % len(clients)], workload.next(), now=at)
+    protocol.on_phase_end()
+    rows = []
+    for outcome in protocol.query_outcomes:
+        assert outcome.trace_id is not None  # causal tracing is on here
+        tree = causal.tree(outcome.trace_id)
+        phases = tree.phase_durations()
+        top_phase = max(phases, key=lambda k: phases[k]) if phases else "-"
+        rows.append(
+            {
+                "client": outcome.client,
+                "served_by": outcome.served_by,
+                "degraded": int(outcome.degraded),
+                "latency": round(outcome.latency, 6),
+                "hops": tree.hop_count(),
+                "spans": len(tree),
+                "top_phase": top_phase,
+                "trace_id": outcome.trace_id,
             }
         )
     return rows

@@ -54,9 +54,14 @@ class Stopwatch:
 
     @property
     def rate(self) -> float:
-        """Timed sections per second of accumulated time."""
+        """Timed sections per second of accumulated time.
+
+        A stopwatch with no accumulated time reports 0.0 — a throughput of
+        "nothing per second" — instead of raising, so dashboards can render
+        a rate column before the first lap lands.
+        """
         if self.elapsed <= 0.0:
-            raise ValueError("nothing timed yet")
+            return 0.0
         return self.count / self.elapsed
 
     def __enter__(self) -> "Stopwatch":

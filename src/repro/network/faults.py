@@ -141,6 +141,19 @@ class FaultPlan:
         ends = [w.end for w in self.crashes if w.site == site and w.end <= at]
         return max(ends) if ends else None
 
+    def summary(self) -> dict:
+        """JSON-friendly description of the plan (embedded as trace-file
+        metadata so an exported trace names the chaos that shaped it)."""
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "jitter": self.jitter,
+            "crashes": [
+                {"site": w.site, "start": w.start, "end": w.end} for w in self.crashes
+            ],
+        }
+
     @property
     def is_zero_fault(self) -> bool:
         """True when the plan can never perturb a delivery."""

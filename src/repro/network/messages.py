@@ -36,6 +36,15 @@ class MessageKind:
     # are control messages with cost ``w``.
     DATA_KINDS = frozenset({RESPONSE, UPDATE, INSERT})
 
+    @classmethod
+    def category(cls, kind: str) -> str:
+        """Coarse taxonomy for trace annotation: ``"data"`` (costs 1 in the
+        DC formula), ``"control"`` (costs ``w``), or ``"ack"`` (transport
+        bookkeeping, invisible to the cost model)."""
+        if kind == cls.ACK:
+            return "ack"
+        return "data" if kind in cls.DATA_KINDS else "control"
+
 
 class MessageStats:
     """Per-kind hop counters.

@@ -43,6 +43,7 @@ from types import MappingProxyType
 from typing import Any, Callable, Dict, Mapping, Optional, Set
 
 from ..obs import metrics as obs
+from ..obs.causal import CausalTracer, Span, TraceContext, current_causal
 from ..obs.trace import FaultRecord, HopRecord, Tracer
 from ..simulate.events import Simulator
 from .faults import FaultPlan
@@ -70,6 +71,12 @@ class Envelope:
     envelope must never observe each other's mutations, and neither the
     sender nor a tracer can alter what a handler sees.  ``msg_id`` is set in
     reliable mode only and keys ack/retry/dedup bookkeeping.
+
+    ``trace`` is the causal trace context this envelope travels under (the
+    hop span opened by :meth:`Transport.send` when causal tracing is on);
+    handler-side work that sends further messages chains under it, and
+    retransmitted or duplicated physical copies of one logical message all
+    share it — that is what makes a trace *causal* rather than a flat log.
     """
 
     src: str
@@ -78,6 +85,7 @@ class Envelope:
     payload: Mapping[str, Any] = field(default_factory=dict)
     sent_at: float = 0.0
     msg_id: Optional[int] = None
+    trace: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "payload", MappingProxyType(dict(self.payload)))
@@ -86,15 +94,20 @@ class Envelope:
 class _PendingSend:
     """Sender-side reliability state for one logical message."""
 
-    __slots__ = ("env", "attempts", "on_failed")
+    __slots__ = ("env", "attempts", "on_failed", "span")
 
     def __init__(
-        self, env: Envelope, on_failed: Optional[Callable[[Envelope], None]]
+        self,
+        env: Envelope,
+        on_failed: Optional[Callable[[Envelope], None]],
+        span: Optional[Span] = None,
     ) -> None:
         self.env = env
         #: Physical transmissions performed so far (1 after the first send).
         self.attempts = 0
         self.on_failed = on_failed
+        #: Causal hop span (open until first dispatch or give-up).
+        self.span = span
 
 
 class Transport:
@@ -111,6 +124,14 @@ class Transport:
         still in FIFO event order).
     tracer:
         Optional per-envelope trace sink (send / deliver / fault hooks).
+    causal:
+        Optional :class:`~repro.obs.causal.CausalTracer`; defaults to the
+        process-wide tracer active at construction
+        (:func:`repro.obs.causal.current_causal`).  When set, every logical
+        send opens a ``hop:<kind>`` span under the caller's trace context,
+        and retransmissions / duplicates / drops / dedup hits become child
+        events of that span.  ``None`` keeps the hot path at one attribute
+        check.
     faults:
         Optional :class:`~repro.network.faults.FaultPlan`.  Attaching one
         switches the transport into reliable mode (acks, retransmission,
@@ -134,6 +155,7 @@ class Transport:
         topology: Topology,
         latency: float = 0.0,
         tracer: Optional[Tracer] = None,
+        causal: Optional[CausalTracer] = None,
         faults: Optional[FaultPlan] = None,
         retry_timeout: Optional[float] = None,
         max_retries: int = 3,
@@ -154,6 +176,11 @@ class Transport:
         #: Optional per-envelope trace sink (send + deliver + fault hooks);
         #: ``None`` keeps the hot path at one attribute check.
         self.tracer: Optional[Tracer] = tracer
+        #: Optional causal tracer; picked up from the process-wide switch at
+        #: construction unless passed explicitly.
+        self.causal: Optional[CausalTracer] = (
+            causal if causal is not None else current_causal()
+        )
         self.faults = faults
         self.max_retries = max_retries
         jitter = faults.jitter if faults is not None else 0.0
@@ -207,6 +234,7 @@ class Transport:
         kind: str,
         payload: Optional[Mapping[str, Any]] = None,
         on_failed: Optional[Callable[[Envelope], None]] = None,
+        trace: Optional[TraceContext] = None,
     ) -> None:
         """Ship one logical message one hop; delivery is a future event.
 
@@ -214,6 +242,13 @@ class Transport:
         retry cap is exhausted, ``on_failed`` (if given) is invoked with the
         envelope instead of raising.  ``on_failed`` is ignored on the
         perfect-network path, where delivery is guaranteed.
+
+        ``trace`` attaches the message to a causal trace; when omitted, the
+        simulator's :attr:`~repro.simulate.events.Simulator.current_context`
+        is inherited, so a handler that sends while processing a delivery
+        chains under the envelope that triggered it without any explicit
+        threading.  With a causal tracer attached, the send opens a
+        ``hop:<kind>`` span and the envelope carries *that* span's context.
         """
         if dst not in self._handlers:
             raise KeyError(f"no handler registered at {dst!r}")
@@ -226,18 +261,33 @@ class Transport:
             self.tracer.on_send(src, dst, kind, self.sim.now)
         if obs.ENABLED:
             obs.counter("transport.sent").inc()
+        ctx = trace if trace is not None else self.sim.current_context
+        span: Optional[Span] = None
+        if self.causal is not None:
+            span = self.causal.start_span(
+                f"hop:{kind}",
+                at=self.sim.now,
+                site=src,
+                parent=ctx,
+                dst=dst,
+                category=MessageKind.category(kind),
+            )
+            ctx = span.context
         if self.faults is None:
-            env = Envelope(src, dst, kind, dict(payload or {}), self.sim.now)
+            env = Envelope(src, dst, kind, dict(payload or {}), self.sim.now, trace=ctx)
             self._track(env)
             self.sim.schedule_after(
                 self.latency,
-                lambda: self._deliver(env),
+                lambda: self._deliver(env, span),
                 label=f"transport.deliver:{kind}",
+                ctx=ctx,
             )
             return
         msg_id = self.fresh_id()
-        env = Envelope(src, dst, kind, dict(payload or {}), self.sim.now, msg_id=msg_id)
-        self._pending[msg_id] = _PendingSend(env, on_failed)
+        env = Envelope(
+            src, dst, kind, dict(payload or {}), self.sim.now, msg_id=msg_id, trace=ctx
+        )
+        self._pending[msg_id] = _PendingSend(env, on_failed, span)
         self._track(env)
         self._transmit(self._pending[msg_id])
 
@@ -251,7 +301,7 @@ class Transport:
 
     # ------------------------------------------------- perfect-network path
 
-    def _deliver(self, env: Envelope) -> None:
+    def _deliver(self, env: Envelope, span: Optional[Span] = None) -> None:
         self._untrack(env)
         if self.tracer is not None:
             self.tracer.on_deliver(
@@ -260,6 +310,8 @@ class Transport:
         if obs.ENABLED:
             obs.counter("transport.delivered").inc()
             obs.histogram("transport.hop_latency").observe(self.sim.now - env.sent_at)
+        if span is not None:
+            span.finish(self.sim.now, status="delivered")
         self._handlers[env.dst](env)
 
     # --------------------------------------------------- reliable-mode path
@@ -268,6 +320,14 @@ class Transport:
         if self.tracer is not None:
             self.tracer.on_fault(
                 FaultRecord(fault, env.src, env.dst, env.kind, self.sim.now, detail)
+            )
+
+    def _causal_event(self, span: Optional[Span], name: str, **annotations: object) -> None:
+        """Record an instant child event under a hop span (no-op when causal
+        tracing is off — ``span`` is only ever created with a tracer)."""
+        if span is not None and self.causal is not None:
+            self.causal.event(
+                name, at=self.sim.now, parent=span.context, site=span.site, **annotations
             )
 
     def _transmit(self, pending: _PendingSend) -> None:
@@ -282,22 +342,26 @@ class Transport:
             copies = 0
             self.dropped += 1
             self._on_fault("drop", env)
+            self._causal_event(pending.span, "drop", attempt=pending.attempts)
             if obs.ENABLED:
                 obs.counter("transport.dropped", reason="drop").inc()
         elif plan.roll_duplicate():
             copies = 2
             self.duplicated += 1
             self._on_fault("duplicate", env)
+            self._causal_event(pending.span, "duplicate", attempt=pending.attempts)
             if obs.ENABLED:
                 obs.counter("transport.duplicated").inc()
         for _ in range(copies):
             extra = plan.roll_jitter()
             if extra > 0:
                 self._on_fault("jitter", env, detail=f"{extra:.6f}")
+                self._causal_event(pending.span, "jitter", extra=round(extra, 6))
             self.sim.schedule_after(
                 self.latency + extra,
                 lambda: self._deliver_reliable(env),
                 label=f"transport.deliver:{env.kind}",
+                ctx=env.trace,
             )
         timeout = self.retry_timeout * (2 ** (pending.attempts - 1))
         guarded_attempts = pending.attempts
@@ -312,9 +376,12 @@ class Transport:
     def _deliver_reliable(self, env: Envelope) -> None:
         plan = self.faults
         assert plan is not None and env.msg_id is not None
+        pending = self._pending.get(env.msg_id)
+        span = pending.span if pending is not None else None
         if plan.is_crashed(env.dst, self.sim.now):
             self.dropped += 1
             self._on_fault("crash", env)
+            self._causal_event(span, "crash", crashed=env.dst)
             if obs.ENABLED:
                 obs.counter("transport.dropped", reason="crash").inc()
             return
@@ -325,6 +392,15 @@ class Transport:
             self.dedup_hits += 1
             if obs.ENABLED:
                 obs.counter("transport.dedup_hits").inc()
+            if span is not None:
+                self._causal_event(span, "dedup")
+            elif self.causal is not None and env.trace is not None:
+                # The logical message was already acked (pending gone), so
+                # the dedup of this late copy hangs off the envelope's own
+                # hop context to stay inside the originating trace.
+                self.causal.event(
+                    "dedup", at=self.sim.now, parent=env.trace, site=env.dst
+                )
             self._send_ack(env)
             return
         seen.add(env.msg_id)
@@ -335,6 +411,10 @@ class Transport:
         if obs.ENABLED:
             obs.counter("transport.delivered").inc()
             obs.histogram("transport.hop_latency").observe(self.sim.now - env.sent_at)
+        if pending is not None and pending.span is not None and not pending.span.finished:
+            pending.span.finish(
+                self.sim.now, status="delivered", attempts=pending.attempts
+            )
         try:
             self._handlers[env.dst](env)
         finally:
@@ -359,6 +439,10 @@ class Transport:
                 "drop",
                 Envelope(env.dst, env.src, MessageKind.ACK, {}, self.sim.now),
             )
+            if self.causal is not None and env.trace is not None:
+                self.causal.event(
+                    "ack_drop", at=self.sim.now, parent=env.trace, site=env.dst
+                )
             if obs.ENABLED:
                 obs.counter("transport.dropped", reason="drop").inc()
             return
@@ -367,12 +451,14 @@ class Transport:
             self.latency + plan.roll_jitter(),
             lambda: self._ack_received(msg_id),
             label="transport.ack",
+            ctx=env.trace,
         )
 
     def _ack_received(self, msg_id: int) -> None:
         pending = self._pending.pop(msg_id, None)
         if pending is None:
             return  # already acked (earlier copy) or already declared failed
+        self._causal_event(pending.span, "ack")
         self._untrack(pending.env)
 
     def _on_timeout(self, msg_id: int, expected_attempts: int) -> None:
@@ -385,6 +471,9 @@ class Transport:
             self._untrack(env)
             self.failed += 1
             self._on_fault("give_up", env, detail=f"attempts={pending.attempts}")
+            self._causal_event(pending.span, "give_up", attempts=pending.attempts)
+            if pending.span is not None and not pending.span.finished:
+                pending.span.finish(self.sim.now, status="failed")
             if obs.ENABLED:
                 obs.counter("transport.failed").inc()
             if pending.on_failed is not None:
@@ -394,6 +483,7 @@ class Transport:
         if obs.ENABLED:
             obs.counter("transport.retries").inc()
         self._on_fault("retry", env, detail=f"attempt={pending.attempts + 1}")
+        self._causal_event(pending.span, "retry", attempt=pending.attempts + 1)
         self._transmit(pending)
 
     # ---------------------------------------------------------------- drain

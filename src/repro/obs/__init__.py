@@ -8,7 +8,12 @@ Three small modules:
   per-hop records for the message transport, behind a ``tracer`` attribute
   that defaults to ``None`` (one attribute check when disabled);
 * :mod:`repro.obs.export` — JSON and Prometheus-style serialization plus the
-  human-readable report behind ``repro stats``.
+  human-readable report behind ``repro stats``;
+* :mod:`repro.obs.causal` — trace contexts, per-operation span trees, and
+  critical-path analysis, behind a ``causal`` attribute that defaults to
+  ``None`` (see "Causal tracing" in ``docs/observability.md``);
+* :mod:`repro.obs.chrome` — Chrome trace-event / Perfetto JSON export of
+  collected causal traces (``repro trace`` / ``--trace-out``).
 
 Quick start::
 
@@ -23,6 +28,21 @@ Metric names and label conventions are documented in
 ``docs/observability.md``.
 """
 
+from .causal import (
+    CausalTracer,
+    CriticalSegment,
+    Span,
+    SpanTree,
+    TraceContext,
+    current_causal,
+    disable_causal,
+    enable_causal,
+    format_critical_path,
+    record_query_trace,
+    record_update_trace,
+    render_tree,
+)
+from .chrome import chrome_trace_ids, to_chrome, validate_chrome, write_chrome
 from .export import (
     dumps,
     from_json,
@@ -71,6 +91,22 @@ __all__ = [
     "HopRecord",
     "Tracer",
     "RecordingTracer",
+    "TraceContext",
+    "Span",
+    "SpanTree",
+    "CriticalSegment",
+    "CausalTracer",
+    "enable_causal",
+    "disable_causal",
+    "current_causal",
+    "render_tree",
+    "format_critical_path",
+    "record_query_trace",
+    "record_update_trace",
+    "to_chrome",
+    "write_chrome",
+    "validate_chrome",
+    "chrome_trace_ids",
     "to_json",
     "from_json",
     "dumps",

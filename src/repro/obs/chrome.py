@@ -1,0 +1,199 @@
+"""Chrome trace-event / Perfetto JSON export for causal traces.
+
+:func:`to_chrome` converts a :class:`~repro.obs.causal.CausalTracer` into
+the `Chrome trace-event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+(the JSON object form), which Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing`` open directly:
+
+* each **trace** becomes one *process* (``pid`` = trace id) so Perfetto
+  groups a query's spans together and names the group after its root;
+* each **site** within a trace becomes one *thread* (``tid``), labelled via
+  ``thread_name`` metadata — the timeline reads as "which site was busy
+  when";
+* finished spans with width become complete (``"ph": "X"``) events carrying
+  ``span_id`` / ``parent_id`` args; zero-width events (drops, retries,
+  dedup hits, acks) become instant (``"ph": "i"``) events.
+
+Timestamps are microseconds, scaled from the span clock by ``time_scale``
+(default ``1e6``: virtual seconds → µs).  :func:`validate_chrome` is the
+schema check the CI trace-smoke step and the tests run against emitted
+files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Set, Tuple
+
+from .causal import CausalTracer, Span
+
+__all__ = ["to_chrome", "write_chrome", "validate_chrome", "chrome_trace_ids"]
+
+#: Event categories by span-name prefix; anything else is "span".
+_CATEGORIES = (
+    ("hop:", "transport"),
+    ("swat.", "swat"),
+)
+
+_FAULT_EVENTS = frozenset(
+    {"drop", "duplicate", "jitter", "crash", "retry", "give_up", "dedup", "ack"}
+)
+
+
+def _category(span: Span) -> str:
+    for prefix, cat in _CATEGORIES:
+        if span.name.startswith(prefix):
+            return cat
+    if span.name in _FAULT_EVENTS:
+        return "fault"
+    return "span"
+
+
+def _args(span: Span) -> Dict[str, object]:
+    args: Dict[str, object] = {"span_id": span.span_id}
+    if span.parent_id is not None:
+        args["parent_id"] = span.parent_id
+    for key, value in sorted(span.annotations.items()):
+        args[key] = value if isinstance(value, (int, float, bool, str)) else str(value)
+    return args
+
+
+def to_chrome(
+    tracer: CausalTracer,
+    *,
+    time_scale: float = 1e6,
+    metadata: Optional[Dict[str, object]] = None,
+) -> dict:
+    """Render all recorded traces as a Chrome trace-event JSON object.
+
+    ``metadata`` lands in the file's ``otherData`` section (fault-plan
+    summaries, experiment names...).  Deterministic: same tracer contents,
+    same output.
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    events: List[dict] = []
+    tids: Dict[Tuple[int, str], int] = {}
+    next_tid: Dict[int, int] = {}
+    for trace_id in tracer.trace_ids():
+        tree = tracer.tree(trace_id)
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": trace_id,
+                "tid": 0,
+                "args": {"name": f"{tree.root.name} trace {trace_id}"},
+            }
+        )
+        for span, _depth in tree.walk():
+            key = (trace_id, span.site)
+            tid = tids.get(key)
+            if tid is None:
+                tid = next_tid.get(trace_id, 0) + 1
+                next_tid[trace_id] = tid
+                tids[key] = tid
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": trace_id,
+                        "tid": tid,
+                        "args": {"name": span.site or "(process)"},
+                    }
+                )
+            base = {
+                "name": span.name,
+                "cat": _category(span),
+                "pid": trace_id,
+                "tid": tid,
+                "ts": span.start_at * time_scale,
+                "args": _args(span),
+            }
+            if span.finished and span.duration > 0.0:
+                base["ph"] = "X"
+                base["dur"] = span.duration * time_scale
+            else:
+                base["ph"] = "i"
+                base["s"] = "t"
+                if not span.finished:
+                    base["args"]["unfinished"] = True
+            events.append(base)
+    out: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    other: Dict[str, object] = {"dropped_spans": tracer.dropped, "seed": tracer.seed}
+    if metadata:
+        other.update(metadata)
+    out["otherData"] = other
+    return out
+
+
+def write_chrome(
+    tracer: CausalTracer,
+    path: str,
+    *,
+    time_scale: float = 1e6,
+    metadata: Optional[Dict[str, object]] = None,
+) -> dict:
+    """Write :func:`to_chrome` output to ``path``; returns the document."""
+    doc = to_chrome(tracer, time_scale=time_scale, metadata=metadata)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=None, separators=(",", ":"), sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def chrome_trace_ids(data: dict) -> Set[int]:
+    """Trace (process) ids present in a Chrome trace-event document."""
+    return {
+        ev["pid"]
+        for ev in data.get("traceEvents", [])
+        if isinstance(ev, dict) and "pid" in ev
+    }
+
+
+def validate_chrome(data: object) -> Dict[str, int]:
+    """Schema-check a Chrome trace-event document; raises ``ValueError``.
+
+    Returns a summary (event/span/instant/trace counts) so callers can also
+    assert non-emptiness.  This is intentionally strict about what
+    :func:`to_chrome` emits — it is the contract the CI smoke step holds the
+    exporter to — not a general validator for arbitrary trace files.
+    """
+    if not isinstance(data, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document needs a 'traceEvents' list")
+    counts = {"events": 0, "complete": 0, "instant": 0, "metadata": 0}
+    pids: Set[int] = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        for field in ("name", "pid", "tid"):
+            if field not in ev:
+                raise ValueError(f"traceEvents[{i}] missing {field!r}")
+        if not isinstance(ev["pid"], int):
+            raise ValueError(f"traceEvents[{i}] pid must be an integer")
+        pids.add(ev["pid"])
+        counts["events"] += 1
+        if ph == "M":
+            counts["metadata"] += 1
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"traceEvents[{i}] needs a non-negative numeric ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"traceEvents[{i}] complete event needs dur >= 0")
+            counts["complete"] += 1
+        elif ph == "i":
+            if ev.get("s") not in ("t", "p", "g"):
+                raise ValueError(f"traceEvents[{i}] instant event needs scope s")
+            counts["instant"] += 1
+        else:
+            raise ValueError(f"traceEvents[{i}] has unsupported phase {ph!r}")
+    counts["traces"] = len(pids)
+    return counts

@@ -20,7 +20,7 @@ import json
 import re
 from typing import Dict, List, Optional, Tuple
 
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, escape_label_value, unescape_label_value
 
 __all__ = [
     "to_json",
@@ -53,8 +53,11 @@ def write_json(registry: MetricsRegistry, path: str) -> None:
         fh.write(dumps(registry) + "\n")
 
 
-_KEY_RE = re.compile(r'^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$')
-_LABEL_RE = re.compile(r'(?P<k>[^=,]+)="(?P<v>[^"]*)"')
+_KEY_RE = re.compile(r'^(?P<name>[^{]+?)(?:\{(?P<labels>.*)\})?$', re.DOTALL)
+# Label values are exposition-format escaped (\\, \", \n), so the value
+# pattern must treat a backslash pair as one unit — a bare [^"]* would stop
+# at the first escaped quote.
+_LABEL_RE = re.compile(r'(?P<k>[^=,{}"]+)="(?P<v>(?:[^"\\]|\\.)*)"', re.DOTALL)
 
 
 def _parse_key(key: str) -> Tuple[str, Dict[str, str]]:
@@ -64,7 +67,7 @@ def _parse_key(key: str) -> Tuple[str, Dict[str, str]]:
     labels: Dict[str, str] = {}
     if m.group("labels"):
         for lm in _LABEL_RE.finditer(m.group("labels")):
-            labels[lm.group("k")] = lm.group("v")
+            labels[lm.group("k")] = unescape_label_value(lm.group("v"))
     return name, labels
 
 
@@ -96,7 +99,7 @@ def from_json(data: dict) -> MetricsRegistry:
 def _prom_key(key: str, suffix: str = "", extra_label: Optional[str] = None) -> str:
     """Append a suffix to the metric name and optionally one more label."""
     name, labels = _parse_key(key)
-    items = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    items = [f'{k}="{escape_label_value(v)}"' for k, v in sorted(labels.items())]
     if extra_label:
         items.append(extra_label)
     rendered = "{" + ",".join(items) + "}" if items else ""
@@ -106,21 +109,70 @@ def _prom_key(key: str, suffix: str = "", extra_label: Optional[str] = None) -> 
 def _render_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
-    return "{" + ",".join('{}="{}"'.format(k, v) for k, v in sorted(labels.items())) + "}"
+    inner = ",".join(
+        f'{k}="{escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
 
 
-def to_prometheus(registry: MetricsRegistry) -> str:
-    """Prometheus-style exposition text (# TYPE comments plus samples)."""
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text per the exposition format: backslash and
+    newline only (quotes are legal in help text)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _unescape_help(text: str) -> str:
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt == "\\":
+                out.append("\\")
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def to_prometheus(
+    registry: MetricsRegistry, help_text: Optional[Dict[str, str]] = None
+) -> str:
+    """Prometheus-style exposition text (# HELP / # TYPE comments + samples).
+
+    ``help_text`` maps bare metric names to one-line descriptions, emitted
+    as ``# HELP`` with backslash/newline escaping per the exposition format.
+    Label values in sample lines are escaped the same way (see
+    :func:`repro.obs.metrics.escape_label_value`); snapshot keys already
+    carry the escaped form, so sample lines reuse them verbatim.
+    """
     snap = registry.snapshot()
+    help_text = help_text or {}
+    emitted_help: set = set()
+
+    def _header(lines: List[str], key: str, kind: str) -> str:
+        name = _parse_key(key)[0]
+        if name in help_text and name not in emitted_help:
+            emitted_help.add(name)
+            lines.append(f"# HELP {name} {_escape_help(help_text[name])}")
+        lines.append(f"# TYPE {name} {kind}")
+        return name
+
     lines: List[str] = []
     for key, value in snap["counters"].items():
-        lines.append(f"# TYPE {_parse_key(key)[0]} counter")
+        _header(lines, key, "counter")
         lines.append(f"{key} {value:g}")
     for key, value in snap["gauges"].items():
-        lines.append(f"# TYPE {_parse_key(key)[0]} gauge")
+        _header(lines, key, "gauge")
         lines.append(f"{key} {value:g}")
     for key, hist in snap["histograms"].items():
-        lines.append(f"# TYPE {_parse_key(key)[0]} histogram")
+        _header(lines, key, "histogram")
         cumulative = 0
         for le, n in hist["buckets"].items():
             cumulative += n
@@ -135,9 +187,11 @@ def parse_prometheus(text: str) -> dict:
     """Parse :func:`to_prometheus` output back into snapshot form.
 
     Histogram min/max are not representable in the exposition format and
-    come back as ``None``.
+    come back as ``None``.  Label values and ``# HELP`` text are unescaped;
+    help lines come back under the ``"help"`` key.
     """
     types: Dict[str, str] = {}
+    help_out: Dict[str, str] = {}
     samples: List[Tuple[str, float]] = []
     for line in text.splitlines():
         line = line.strip()
@@ -147,6 +201,9 @@ def parse_prometheus(text: str) -> dict:
             parts = line.split()
             if len(parts) >= 4 and parts[1] == "TYPE":
                 types[parts[2]] = parts[3]
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                head = line.split(" ", 3)
+                help_out[head[2]] = _unescape_help(head[3]) if len(head) > 3 else ""
             continue
         key, value = line.rsplit(" ", 1)
         samples.append((key, float(value)))
@@ -160,7 +217,7 @@ def parse_prometheus(text: str) -> dict:
                     return base, suffix
         return None
 
-    out: Dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+    out: Dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}, "help": help_out}
     hist_parts: Dict[str, dict] = {}
     for key, value in samples:
         name, labels = _parse_key(key)

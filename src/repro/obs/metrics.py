@@ -33,6 +33,8 @@ __all__ = [
     "LATENCY_BUCKETS",
     "COUNT_BUCKETS",
     "ENABLED",
+    "escape_label_value",
+    "unescape_label_value",
     "enable",
     "disable",
     "get_registry",
@@ -63,11 +65,43 @@ def _labels_of(labels: Dict[str, object]) -> Labels:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double quote, and newline become ``\\\\``, ``\\"``, ``\\n``."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` (unknown escapes pass through)."""
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 def render_key(name: str, labels: Labels) -> str:
-    """Canonical string form: ``name`` or ``name{k="v",...}``."""
+    """Canonical string form: ``name`` or ``name{k="v",...}``.
+
+    Label values are escaped per the Prometheus exposition format, so
+    rendered keys survive hostile values (quotes, backslashes, newlines)
+    and parse back losslessly (see :mod:`repro.obs.export`).
+    """
     if not labels:
         return name
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in labels)
     return f"{name}{{{inner}}}"
 
 
@@ -188,11 +222,19 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile from bucket boundaries (upper-edge estimate)."""
+        """Approximate quantile from bucket boundaries (upper-edge estimate).
+
+        Raises ``ValueError`` for ``q`` outside ``[0, 1]`` and for an empty
+        histogram — an empty histogram has no quantiles, and silently
+        answering 0.0 hid wiring bugs in dashboards.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         if self.count == 0:
-            return 0.0
+            raise ValueError(
+                f"histogram {render_key(self.name, self.labels)!r} is empty; "
+                "no quantiles exist"
+            )
         rank = q * self.count
         seen = 0
         for i, n in enumerate(self.bucket_counts):

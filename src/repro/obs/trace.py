@@ -11,8 +11,9 @@ and post-mortems.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, TypeVar
+from typing import Deque, Optional, Tuple, TypeVar
 
 _T = TypeVar("_T")
 
@@ -95,21 +96,30 @@ class Tracer:
 
 class RecordingTracer(Tracer):
     """Keeps every span/hop in memory (optionally capped at ``max_records``
-    per stream, dropping the oldest — enough for rolling dashboards)."""
+    per stream, dropping the oldest — enough for rolling dashboards).
+
+    The stores are :class:`collections.deque` instances with
+    ``maxlen=max_records``, so a capped eviction is O(1) instead of the
+    O(n) ``del records[0]``; indexing and iteration still work list-style.
+    :attr:`dropped` counts records evicted by the cap, so a dashboard fed
+    from a capped tracer can tell "quiet" from "overflowed".
+    """
 
     def __init__(self, max_records: Optional[int] = None) -> None:
         if max_records is not None and max_records <= 0:
             raise ValueError("max_records must be positive")
         self.max_records = max_records
-        self.spans: List[EventSpan] = []
-        self.sends: List[Tuple[str, str, str, float]] = []
-        self.deliveries: List[HopRecord] = []
-        self.faults: List[FaultRecord] = []
+        self.spans: Deque[EventSpan] = deque(maxlen=max_records)
+        self.sends: Deque[Tuple[str, str, str, float]] = deque(maxlen=max_records)
+        self.deliveries: Deque[HopRecord] = deque(maxlen=max_records)
+        self.faults: Deque[FaultRecord] = deque(maxlen=max_records)
+        #: Records evicted across all streams because of the cap.
+        self.dropped = 0
 
-    def _push(self, records: List[_T], item: _T) -> None:
+    def _push(self, records: Deque[_T], item: _T) -> None:
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self.dropped += 1
         records.append(item)
-        if self.max_records is not None and len(records) > self.max_records:
-            del records[0]
 
     def on_event_span(self, span: EventSpan) -> None:
         self._push(self.spans, span)
@@ -128,9 +138,11 @@ class RecordingTracer(Tracer):
         self.sends.clear()
         self.deliveries.clear()
         self.faults.clear()
+        self.dropped = 0
 
     def __repr__(self) -> str:
         return (
             f"RecordingTracer(spans={len(self.spans)}, sends={len(self.sends)}, "
-            f"deliveries={len(self.deliveries)}, faults={len(self.faults)})"
+            f"deliveries={len(self.deliveries)}, faults={len(self.faults)}, "
+            f"dropped={self.dropped})"
         )

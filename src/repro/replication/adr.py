@@ -21,6 +21,8 @@ import logging
 from typing import Dict, List, Optional, Set
 
 from ..network.topology import Topology
+from ..obs import causal as causal_mod
+from ..obs.causal import Span, TraceContext
 
 __all__ = ["AdrObject"]
 
@@ -76,6 +78,24 @@ class AdrObject:
         self._counters: Dict[str, _NodeCounters] = {
             n: _NodeCounters() for n in topology.nodes
         }
+        # Ambient causal tracer (None when tracing is off): reads and writes
+        # become span trees whose hop spans mirror the counted tree edges.
+        self.causal = causal_mod.current_causal()
+
+    def _traced_hop(
+        self,
+        name: str,
+        src: str,
+        dst: str,
+        at: float,
+        ctx: Optional[TraceContext],
+    ) -> Optional[TraceContext]:
+        """One counted tree-edge message as a zero-duration hop span."""
+        if self.causal is None or ctx is None:
+            return ctx
+        span = self.causal.start_span(name, at=at, site=src, parent=ctx, dst=dst)
+        span.finish(at, status="delivered")
+        return span.context
 
     # ------------------------------------------------------------- structure
 
@@ -139,9 +159,18 @@ class AdrObject:
 
     # --------------------------------------------------------------- traffic
 
-    def read(self, origin: str) -> float:
+    def read(self, origin: str, at: float = 0.0) -> float:
         """A read at ``origin``: travels to the closest replica."""
         path = self._path_to_replica(origin)
+        root_span: Optional[Span] = None
+        ctx: Optional[TraceContext] = None
+        if self.causal is not None:
+            root_span = self.causal.start_span(
+                "read", at=at, site=origin, protocol="ADR"
+            )
+            ctx = root_span.context
+            for src, dst in zip(path, path[1:]):
+                ctx = self._traced_hop("hop:query", src, dst, at, ctx)
         self.messages += len(path) - 1
         target = path[-1]
         counters = self._counters[target]
@@ -149,12 +178,23 @@ class AdrObject:
             counters.local_reads += 1
         else:
             counters.reads[path[-2]] = counters.reads.get(path[-2], 0) + 1
+        if root_span is not None:
+            root_span.finish(at, served_by=target)
         return self.value
 
-    def write(self, origin: str, value: float) -> None:
+    def write(self, origin: str, value: float, at: float = 0.0) -> None:
         """A write at ``origin``: reaches R, then updates every replica."""
         self.value = float(value)
         path = self._path_to_replica(origin)
+        root_span: Optional[Span] = None
+        ctx: Optional[TraceContext] = None
+        if self.causal is not None:
+            root_span = self.causal.start_span(
+                "write", at=at, site=origin, protocol="ADR"
+            )
+            ctx = root_span.context
+            for src, dst in zip(path, path[1:]):
+                ctx = self._traced_hop("hop:update", src, dst, at, ctx)
         self.messages += len(path) - 1
         entry = path[-1]
         entry_counters = self._counters[entry]
@@ -164,17 +204,25 @@ class AdrObject:
             entry_counters.writes[path[-2]] = entry_counters.writes.get(path[-2], 0) + 1
         # Flood R from the entry point; each R edge carries one message and
         # each receiving replica counts a write from the edge it arrived on.
+        # The flood's hop spans branch from the context the envelope arrived
+        # under, so the trace mirrors the flood tree.
         visited = {entry}
+        flood_ctx: Dict[str, Optional[TraceContext]] = {entry: ctx}
         frontier = [entry]
         while frontier:
             node = frontier.pop()
             for v in self._neighbours(node):
                 if v in self.replicas and v not in visited:
                     self.messages += 1
+                    flood_ctx[v] = self._traced_hop(
+                        "hop:update", node, v, at, flood_ctx[node]
+                    )
                     c = self._counters[v]
                     c.writes[node] = c.writes.get(node, 0) + 1
                     visited.add(v)
                     frontier.append(v)
+        if root_span is not None:
+            root_span.finish(at, replicas=len(self.replicas))
 
     # ------------------------------------------------------------- phase end
 

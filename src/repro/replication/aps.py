@@ -19,13 +19,15 @@ must widen for the scheme to adapt, per the paper's description of APS
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..core.queries import InnerProductQuery
 from ..network.messages import MessageKind
 from ..network.topology import Topology
+from ..obs import causal as causal_mod
+from ..obs.causal import Span, TraceContext
 from .base import ReplicationProtocol, per_index_tolerances
 
 __all__ = ["AdaptivePrecision"]
@@ -70,6 +72,8 @@ class AdaptivePrecision(ReplicationProtocol):
 
     def _propagate(self, value: float, now: float) -> None:
         vals = self.window.values_newest_first() - self.value_low
+        root_span: Optional[Span] = None
+        ctx: Optional[TraceContext] = None
         for client in self.topology.clients:
             lo, hi = self.lo[client], self.hi[client]
             escaped = (vals < lo) | (vals > hi)
@@ -81,7 +85,27 @@ class AdaptivePrecision(ReplicationProtocol):
                 new_widths = np.minimum(new_widths, self.max_range)
                 lo[escaped] = vals[escaped] - new_widths / 2.0
                 hi[escaped] = vals[escaped] + new_widths / 2.0
-                self.stats.record(MessageKind.UPDATE, n * self._hops(client))
+                hops = self._hops(client)
+                self.stats.record(MessageKind.UPDATE, n * hops)
+                if self.causal is not None:
+                    # One value-initiated refresh trace per arrival; each
+                    # client's refresh batch is a single logical hop span
+                    # annotated with its item count and tree distance.
+                    if root_span is None:
+                        root_span = self.causal.start_span(
+                            "update", at=now, site=self.topology.root,
+                            protocol=self.name,
+                        )
+                        ctx = root_span.context
+                    self.causal.start_span(
+                        f"hop:{MessageKind.UPDATE}", at=now,
+                        site=self.topology.root, parent=ctx, dst=client,
+                        items=n, hops=hops,
+                        category=MessageKind.category(MessageKind.UPDATE),
+                    ).finish(now, status="delivered")
+        if root_span is not None and self.causal is not None:
+            root_span.finish(now)
+            causal_mod.record_update_trace(self.causal, root_span, self.name)
 
     # ------------------------------------------------------------ query path
 
@@ -94,6 +118,13 @@ class AdaptivePrecision(ReplicationProtocol):
         answer = 0.0
         self.last_query_hops = 0
         weights = dict(zip(query.indices, query.weights))
+        root_span: Optional[Span] = None
+        ctx: Optional[TraceContext] = None
+        if self.causal is not None:
+            root_span = self.causal.start_span(
+                "query", at=now, site=client, protocol=self.name
+            )
+            ctx = root_span.context
         for idx in query.indices:
             width = hi[idx] - lo[idx]
             if width <= tolerances[idx]:
@@ -104,6 +135,18 @@ class AdaptivePrecision(ReplicationProtocol):
                 self.stats.record(MessageKind.QUERY, hops)
                 self.stats.record(MessageKind.RESPONSE, hops)
                 self.last_query_hops = 2 * hops
+                if self.causal is not None and ctx is not None:
+                    fwd = self.causal.start_span(
+                        f"hop:{MessageKind.QUERY}", at=now, site=client,
+                        parent=ctx, dst=self.topology.root, item=idx, hops=hops,
+                        category=MessageKind.category(MessageKind.QUERY),
+                    ).finish(now, status="delivered")
+                    self.causal.start_span(
+                        f"hop:{MessageKind.RESPONSE}", at=now,
+                        site=self.topology.root, parent=fwd.context, dst=client,
+                        item=idx, hops=hops,
+                        category=MessageKind.category(MessageKind.RESPONSE),
+                    ).finish(now, status="delivered")
                 estimate = self.window[idx]
                 new_width = width / (1.0 + self.alpha)
                 if new_width < self.tau_0:
@@ -112,6 +155,9 @@ class AdaptivePrecision(ReplicationProtocol):
                 lo[idx] = centre - new_width / 2.0
                 hi[idx] = centre + new_width / 2.0
             answer += weights[idx] * estimate
+        if root_span is not None and self.causal is not None:
+            root_span.finish(now, hops=self.last_query_hops)
+            causal_mod.record_query_trace(self.causal, root_span, self.name)
         return answer
 
     # --------------------------------------------------------------- metrics

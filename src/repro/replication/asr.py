@@ -31,6 +31,8 @@ from ..core.swat import Swat
 from ..network.directory import Directory, DirectoryRow, Segment
 from ..network.messages import MessageKind
 from ..network.topology import Topology
+from ..obs import causal as causal_mod
+from ..obs.causal import Span, TraceContext
 from .base import ReplicationProtocol
 
 __all__ = ["SwatAsr"]
@@ -91,11 +93,47 @@ class SwatAsr(ReplicationProtocol):
 
     def _propagate(self, value: float, now: float) -> None:
         """Refresh every segment range at the source; push non-enclosed changes."""
+        root_span: Optional[Span] = None
+        ctx: Optional[TraceContext] = None
+        if self.causal is not None:
+            root_span = self.causal.start_span(
+                "update", at=now, site=self.topology.root, protocol=self.name
+            )
+            ctx = root_span.context
         for seg in self._segments:
             rng = self._segment_range(seg)
-            self._apply_update(self.topology.root, seg, rng)
+            self._apply_update(self.topology.root, seg, rng, at=now, ctx=ctx)
+        if root_span is not None and self.causal is not None:
+            root_span.finish(now)
+            causal_mod.record_update_trace(self.causal, root_span, self.name)
         if self._check_invariants:
             contracts.check_asr(self)
+
+    def _traced_hop(
+        self,
+        kind: str,
+        src: str,
+        dst: str,
+        at: float,
+        ctx: Optional[TraceContext],
+    ) -> Optional[TraceContext]:
+        """Record one counted-call hop as a zero-duration span.
+
+        The synchronous model has no transmission delay, so the span opens
+        and closes at ``at``; what the trace captures is the *structure* —
+        which site pushed or forwarded to which, in what causal order."""
+        if self.causal is None or ctx is None:
+            return ctx
+        span = self.causal.start_span(
+            f"hop:{kind}",
+            at=at,
+            site=src,
+            parent=ctx,
+            dst=dst,
+            category=MessageKind.category(kind),
+        )
+        span.finish(at, status="delivered")
+        return span.context
 
     def _segment_range(self, seg: Segment) -> Tuple[float, float]:
         if not self.use_summary_ranges:
@@ -117,7 +155,14 @@ class SwatAsr(ReplicationProtocol):
             hi = max(hi, avg + dev)
         return (lo, hi)
 
-    def _apply_update(self, node: str, seg: Segment, rng: Tuple[float, float]) -> None:
+    def _apply_update(
+        self,
+        node: str,
+        seg: Segment,
+        rng: Tuple[float, float],
+        at: float = 0.0,
+        ctx: Optional[TraceContext] = None,
+    ) -> None:
         """Figure 8(a), update branch, at ``node`` (then cascading down)."""
         row = self.sites[node].row(seg)
         was_cached = row.is_cached
@@ -127,7 +172,8 @@ class SwatAsr(ReplicationProtocol):
             row.write_count += 1
             for child in list(row.subscribed):
                 self.stats.record(MessageKind.UPDATE)
-                self._apply_update(child, seg, rng)
+                hop_ctx = self._traced_hop(MessageKind.UPDATE, node, child, at, ctx)
+                self._apply_update(child, seg, rng, at=at, ctx=hop_ctx)
 
     # ------------------------------------------------------------ query path
 
@@ -152,9 +198,21 @@ class SwatAsr(ReplicationProtocol):
             by_segment.setdefault(directory.segment_of(idx), []).append(idx)
         weights = dict(zip(query.indices, query.weights))
         before = self.stats.count(MessageKind.QUERY)
-        estimates = self._query_at(client, query, by_segment, weights, from_child=None)
+        root_span: Optional[Span] = None
+        ctx: Optional[TraceContext] = None
+        if self.causal is not None:
+            root_span = self.causal.start_span(
+                "query", at=now, site=client, protocol=self.name
+            )
+            ctx = root_span.context
+        estimates = self._query_at(
+            client, query, by_segment, weights, from_child=None, at=now, ctx=ctx
+        )
         # One query message per hop up and one response per hop back.
         self.last_query_hops = 2 * (self.stats.count(MessageKind.QUERY) - before)
+        if root_span is not None and self.causal is not None:
+            root_span.finish(now, hops=self.last_query_hops)
+            causal_mod.record_query_trace(self.causal, root_span, self.name)
         return sum(weights[i] * estimates[i] for i in query.indices)
 
     def _query_at(
@@ -164,6 +222,8 @@ class SwatAsr(ReplicationProtocol):
         by_segment: Dict[Segment, List[int]],
         weights: Dict[int, float],
         from_child: Optional[str],
+        at: float = 0.0,
+        ctx: Optional[TraceContext] = None,
     ) -> Dict[int, float]:
         directory = self.sites[node]
         if node == self.topology.root:
@@ -184,9 +244,16 @@ class SwatAsr(ReplicationProtocol):
                     estimates[idx] = row.midpoint
             return estimates
         parent = self.topology.parent(node)
+        assert parent is not None  # the source always satisfies
         self.stats.record(MessageKind.QUERY)
-        estimates = self._query_at(parent, query, by_segment, weights, from_child=node)
+        hop_ctx = self._traced_hop(MessageKind.QUERY, node, parent, at, ctx)
+        estimates = self._query_at(
+            parent, query, by_segment, weights, from_child=node, at=at, ctx=hop_ctx
+        )
         self.stats.record(MessageKind.RESPONSE)
+        # The response chains under the forward hop that provoked it, so the
+        # trace reads request-then-response exactly as the async runtime's.
+        self._traced_hop(MessageKind.RESPONSE, parent, node, at, hop_ctx)
         return estimates
 
     @staticmethod
@@ -201,6 +268,13 @@ class SwatAsr(ReplicationProtocol):
     def on_phase_end(self, now: float = 0.0) -> None:
         """Figure 8(b): contraction then expansion tests, then counter reset."""
         root = self.topology.root
+        phase_span: Optional[Span] = None
+        ctx: Optional[TraceContext] = None
+        if self.causal is not None:
+            phase_span = self.causal.start_span(
+                "phase", at=now, site=root, protocol=self.name
+            )
+            ctx = phase_span.context
         # Contraction, deepest sites first, so a chain can shrink in one phase.
         clients = sorted(self.topology.clients, key=self.topology.depth, reverse=True)
         for node in clients:
@@ -216,8 +290,10 @@ class SwatAsr(ReplicationProtocol):
                         )
                         row.approx = None
                         self.stats.record(MessageKind.UNSUBSCRIBE)
-                        parent_row = self.sites[self.topology.parent(node)].row(seg)
-                        parent_row.subscribed.discard(node)
+                        parent = self.topology.parent(node)
+                        assert parent is not None
+                        self._traced_hop(MessageKind.UNSUBSCRIBE, node, parent, now, ctx)
+                        self.sites[parent].row(seg).subscribed.discard(node)
         # Expansion at every site still holding a copy (the source always does).
         for node in self.topology.nodes:
             directory = self.sites[node]
@@ -230,7 +306,8 @@ class SwatAsr(ReplicationProtocol):
                     if row.write_count < row.read_counts.get(v, 0):
                         # Refresh a subscriber whose cached range proved too wide.
                         self.stats.record(MessageKind.UPDATE)
-                        self._apply_update(v, seg, row.approx)
+                        hop_ctx = self._traced_hop(MessageKind.UPDATE, node, v, now, ctx)
+                        self._apply_update(v, seg, row.approx, at=now, ctx=hop_ctx)
                 for v in list(row.interested):
                     row.interested.discard(v)
                     if row.write_count < row.read_counts.get(v, 0):
@@ -242,7 +319,10 @@ class SwatAsr(ReplicationProtocol):
                         )
                         row.subscribed.add(v)
                         self.stats.record(MessageKind.INSERT)
+                        self._traced_hop(MessageKind.INSERT, node, v, now, ctx)
                         self.sites[v].row(seg).approx = row.approx
+        if phase_span is not None:
+            phase_span.finish(now)
         for directory in self.sites.values():
             for seg in self._segments:
                 directory.row(seg).reset_counts()

@@ -58,7 +58,9 @@ from ..network.faults import FaultPlan
 from ..network.messages import MessageKind, MessageStats
 from ..network.topology import Topology
 from ..network.transport import Envelope, Transport
+from ..obs import causal as causal_mod
 from ..obs import metrics as obs
+from ..obs.causal import CausalTracer, Span, TraceContext
 from ..simulate.events import Simulator
 
 __all__ = ["AsyncSwatAsr", "QueryOutcome", "DEGRADED_WIDEN_FACTOR"]
@@ -93,6 +95,10 @@ class QueryOutcome:
     served_by: str
     issued_at: float
     answered_at: float
+    #: Causal trace id of the query's span tree (``None`` when causal
+    #: tracing was off); resolves via ``CausalTracer.tree(trace_id)`` — for
+    #: a degraded answer, the tree shows exactly which hop failed.
+    trace_id: Optional[int] = None
 
     @property
     def latency(self) -> float:
@@ -110,8 +116,9 @@ class _Site:
         self.id = node_id
         self.system = system
         self.directory = Directory(system.window_size)
-        # qid -> ("child", child_id) | ("local", callback)
-        self.pending: Dict[int, Tuple[str, object]] = {}
+        # qid -> ("child", child_id, ctx) | ("local", callback, ctx); ctx is
+        # the causal trace context the answer should continue under.
+        self.pending: Dict[int, Tuple[str, object, Optional[TraceContext]]] = {}
         #: Last virtual time an UPDATE/INSERT for the segment was applied
         #: here (staleness stamps for degraded answers).
         self.last_update_at: Dict[Segment, float] = {}
@@ -130,7 +137,12 @@ class _Site:
 
     # --------------------------------------------------------------- queries
 
-    def issue_query(self, query: InnerProductQuery, callback: _AnswerCallback) -> Optional[int]:
+    def issue_query(
+        self,
+        query: InnerProductQuery,
+        callback: _AnswerCallback,
+        ctx: Optional[TraceContext] = None,
+    ) -> Optional[int]:
         """Answer locally or forward root-ward; returns the correlation id
         of a forwarded query (``None`` when answered on the spot)."""
         payload = self._try_satisfy(query, from_child=None)
@@ -138,11 +150,13 @@ class _Site:
             callback(payload)
             return None
         qid = self.system.transport.fresh_id()
-        self.pending[qid] = ("local", callback)
-        self._forward_query(qid, query)
+        self.pending[qid] = ("local", callback, ctx)
+        self._forward_query(qid, query, ctx)
         return qid
 
-    def _forward_query(self, qid: int, query: InnerProductQuery) -> None:
+    def _forward_query(
+        self, qid: int, query: InnerProductQuery, ctx: Optional[TraceContext] = None
+    ) -> None:
         parent = self.system.topology.parent(self.id)
         assert parent is not None  # the root always satisfies
         self.system.transport.send(
@@ -151,6 +165,7 @@ class _Site:
             MessageKind.QUERY,
             {"qid": qid, "query": query},
             on_failed=lambda env: self._on_forward_failed(qid, query),
+            trace=ctx,
         )
 
     def _try_satisfy(
@@ -263,13 +278,16 @@ class _Site:
                 env.payload["segment"],
                 env.payload["range"],
                 version=cast(Optional[int], env.payload.get("version")),
+                ctx=env.trace,
             )
         elif env.kind == MessageKind.UNSUBSCRIBE:
             self.directory.row(env.payload["segment"]).subscribed.discard(env.src)
         else:  # pragma: no cover - transport validates kinds
             raise ValueError(f"unexpected envelope kind {env.kind!r}")
 
-    def _respond(self, child: str, payload: _AnswerPayload) -> None:
+    def _respond(
+        self, child: str, payload: _AnswerPayload, ctx: Optional[TraceContext] = None
+    ) -> None:
         """Send a RESPONSE one hop down; a lost response is only counted —
         the issuing client's local fallback guarantees an answer."""
         self.system.transport.send(
@@ -278,16 +296,17 @@ class _Site:
             MessageKind.RESPONSE,
             payload,
             on_failed=self.system._on_response_lost,
+            trace=ctx,
         )
 
     def _handle_query(self, env: Envelope) -> None:
         qid, query = env.payload["qid"], env.payload["query"]
         payload = self._try_satisfy(query, from_child=env.src)
         if payload is not None:
-            self._respond(env.src, {"qid": qid, **payload})
+            self._respond(env.src, {"qid": qid, **payload}, ctx=env.trace)
             return
-        self.pending[qid] = ("child", env.src)
-        self._forward_query(qid, query)
+        self.pending[qid] = ("child", env.src, env.trace)
+        self._forward_query(qid, query, env.trace)
 
     def _handle_response(self, env: Envelope) -> None:
         qid = env.payload["qid"]
@@ -299,9 +318,11 @@ class _Site:
             if obs.ENABLED:
                 obs.counter("asr.late_responses", site=self.id).inc()
             return
-        origin, target = entry
+        origin, target, __ = entry
         if origin == "child":
-            self._respond(cast(str, target), env.payload)
+            # Continue the response chain under the incoming hop, not the
+            # original forward: the trace should read request-then-response.
+            self._respond(cast(str, target), env.payload, ctx=env.trace)
         else:
             cast(_AnswerCallback, target)(env.payload)
 
@@ -313,15 +334,24 @@ class _Site:
             return  # already answered through another path
         if obs.ENABLED:
             obs.counter("asr.degraded_serves", site=self.id).inc()
-        origin, target = entry
+        origin, target, ctx = entry
+        causal = self.system.causal
+        if causal is not None and ctx is not None:
+            causal.event(
+                "degraded_serve", at=self.system.sim.now, parent=ctx, site=self.id
+            )
         payload = self.degraded_payload(query)
         if origin == "child":
-            self._respond(cast(str, target), {"qid": qid, **payload})
+            self._respond(cast(str, target), {"qid": qid, **payload}, ctx=ctx)
         else:
             cast(_AnswerCallback, target)(payload)
 
     def apply_update(
-        self, seg: Segment, rng: Tuple[float, float], version: Optional[int] = None
+        self,
+        seg: Segment,
+        rng: Tuple[float, float],
+        version: Optional[int] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> None:
         """Figure 8(a) update branch: enclosure-gated cascade.
 
@@ -334,6 +364,15 @@ class _Site:
             if version <= self._applied_version.get(seg, 0):
                 if obs.ENABLED:
                     obs.counter("asr.stale_updates_dropped", site=self.id).inc()
+                causal = self.system.causal
+                if causal is not None and ctx is not None:
+                    causal.event(
+                        "stale_update_dropped",
+                        at=self.system.sim.now,
+                        parent=ctx,
+                        site=self.id,
+                        version=version,
+                    )
                 return
             self._applied_version[seg] = version
         row = self.directory.row(seg)
@@ -344,10 +383,15 @@ class _Site:
         if was_cached and not enclosed:
             row.write_count += 1
             for child in list(row.subscribed):
-                self.push_update(child, seg, rng, MessageKind.UPDATE)
+                self.push_update(child, seg, rng, MessageKind.UPDATE, ctx=ctx)
 
     def push_update(
-        self, child: str, seg: Segment, rng: Tuple[float, float], kind: str
+        self,
+        child: str,
+        seg: Segment,
+        rng: Tuple[float, float],
+        kind: str,
+        ctx: Optional[TraceContext] = None,
     ) -> None:
         """Send UPDATE/INSERT to ``child``; an undeliverable push marks the
         pair unsynced for re-sync once the child is reachable again."""
@@ -358,6 +402,7 @@ class _Site:
             kind,
             {"segment": seg, "range": rng, "version": self._push_seq},
             on_failed=lambda env: self._on_push_failed(child, seg),
+            trace=ctx,
         )
 
     def _on_push_failed(self, child: str, seg: Segment) -> None:
@@ -388,6 +433,10 @@ class _Site:
         """Re-push current ranges to children that missed updates and are
         reachable again; undeliverable pushes re-mark themselves."""
         transport = self.system.transport
+        causal = self.system.causal
+        span: Optional[Span] = None
+        ctx: Optional[TraceContext] = None
+        pushes = 0
         for child in list(self.unsynced):
             if not transport.is_up(child):
                 self._schedule_resync()  # still down: try again later
@@ -399,8 +448,16 @@ class _Site:
                     continue  # the scheme moved on; nothing to restore
                 if obs.ENABLED:
                     obs.counter("asr.resyncs", site=self.id).inc()
+                if causal is not None and span is None:
+                    span = causal.start_span(
+                        "resync", at=self.system.sim.now, site=self.id
+                    )
+                    ctx = span.context
                 assert row.approx is not None
-                self.push_update(child, seg, row.approx, MessageKind.UPDATE)
+                self.push_update(child, seg, row.approx, MessageKind.UPDATE, ctx=ctx)
+                pushes += 1
+        if span is not None:
+            span.finish(self.system.sim.now, pushes=pushes)
 
 
 class AsyncSwatAsr:
@@ -424,6 +481,11 @@ class AsyncSwatAsr:
     check_invariants:
         Run :func:`repro.contracts.check_async_asr` after every arrival and
         phase boundary; ``None`` defers to ``REPRO_CHECK_INVARIANTS``.
+    causal:
+        Optional :class:`~repro.obs.causal.CausalTracer`; defaults to the
+        ambient tracer (:func:`repro.obs.causal.current_causal`), so
+        ``enable_causal()`` before construction traces every query, update
+        cascade, and phase as a connected span tree.
     """
 
     name = "SWAT-ASR (async)"
@@ -438,10 +500,12 @@ class AsyncSwatAsr:
         retry_timeout: Optional[float] = None,
         max_retries: int = 3,
         check_invariants: Optional[bool] = None,
+        causal: Optional[CausalTracer] = None,
     ) -> None:
         self.topology = topology
         self.window_size = window_size
         self.sim = sim or Simulator()
+        self.causal = causal if causal is not None else causal_mod.current_causal()
         self.transport = Transport(
             self.sim,
             topology,
@@ -449,6 +513,7 @@ class AsyncSwatAsr:
             faults=faults,
             retry_timeout=retry_timeout,
             max_retries=max_retries,
+            causal=self.causal,
         )
         self.window = GroundTruthWindow(window_size)
         self.sites: Dict[str, _Site] = {
@@ -509,11 +574,26 @@ class AsyncSwatAsr:
         if self.faults is not None:
             self._resync_all()
         source = self.sites[self.topology.root]
+        root_span: Optional[Span] = None
+        ctx: Optional[TraceContext] = None
         if self.transport.is_up(self.topology.root):
+            if self.causal is not None:
+                root_span = self.causal.start_span(
+                    "update",
+                    at=self.sim.now,
+                    site=self.topology.root,
+                    protocol=self.name,
+                )
+                ctx = root_span.context
             for seg in self._segments:
                 rng = self.window.segment_range(seg.newest, seg.oldest)
-                source.apply_update(seg, rng)
+                source.apply_update(seg, rng, ctx=ctx)
         self.transport.drain()
+        if root_span is not None and self.causal is not None:
+            # Finished after the drain so the span covers the whole cascade
+            # (retransmissions included), not just the source-local apply.
+            root_span.finish(self.sim.now)
+            causal_mod.record_update_trace(self.causal, root_span, self.name)
         if self._check:
             contracts.check_async_asr(self)
 
@@ -541,13 +621,25 @@ class AsyncSwatAsr:
             box["payload"] = payload
             box["at"] = self.sim.now
 
+        root_span: Optional[Span] = None
+        ctx: Optional[TraceContext] = None
+        if self.causal is not None:
+            root_span = self.causal.start_span(
+                "query", at=issued_at, site=client, protocol=self.name
+            )
+            ctx = root_span.context
+
         site = self.sites[client]
         if not self.transport.is_up(client):
             # The client site itself is down: its local stub answers from
             # the last-known directory rather than erroring out.
+            if self.causal is not None:
+                self.causal.event(
+                    "degraded_stub", at=self.sim.now, parent=ctx, site=client
+                )
             deliver(site.degraded_payload(query))
         else:
-            qid = site.issue_query(query, deliver)
+            qid = site.issue_query(query, deliver, ctx=ctx)
             self.transport.drain()
             if "payload" not in box:
                 if self.faults is None:  # pragma: no cover - drain guarantees delivery
@@ -556,6 +648,10 @@ class AsyncSwatAsr:
                 # interior hop; serve the client's own last-known summary.
                 if qid is not None:
                     site.pending.pop(qid, None)
+                if self.causal is not None:
+                    self.causal.event(
+                        "degraded_stub", at=self.sim.now, parent=ctx, site=client
+                    )
                 deliver(site.degraded_payload(query))
 
         payload = cast(_AnswerPayload, box["payload"])
@@ -568,6 +664,14 @@ class AsyncSwatAsr:
         degraded = bool(payload.get("degraded", False))
         if degraded and obs.ENABLED:
             obs.counter("asr.degraded_answers").inc()
+        if root_span is not None and self.causal is not None:
+            # The span ends when the *answer* landed, not when the drain
+            # returned: late retransmissions after a degraded answer stay in
+            # the tree but out of this query's wall-clock.
+            root_span.finish(
+                cast(float, box["at"]), degraded=degraded, served_by=served_by
+            )
+            causal_mod.record_query_trace(self.causal, root_span, self.name)
         outcome = QueryOutcome(
             client=client,
             value=value,
@@ -577,6 +681,7 @@ class AsyncSwatAsr:
             served_by=served_by,
             issued_at=issued_at,
             answered_at=cast(float, box["at"]),
+            trace_id=None if root_span is None else root_span.trace_id,
         )
         self.query_outcomes.append(outcome)
         self.query_latencies.append(outcome.latency)
@@ -594,6 +699,13 @@ class AsyncSwatAsr:
             self.sim.run_until(now)
         if self.faults is not None:
             self._resync_all()
+        root_span: Optional[Span] = None
+        ctx: Optional[TraceContext] = None
+        if self.causal is not None:
+            root_span = self.causal.start_span(
+                "phase", at=self.sim.now, site=self.topology.root, protocol=self.name
+            )
+            ctx = root_span.context
         root = self.topology.root
         clients = sorted(self.topology.clients, key=self.topology.depth, reverse=True)
         for node in clients:
@@ -608,7 +720,11 @@ class AsyncSwatAsr:
                         parent = self.topology.parent(node)
                         assert parent is not None
                         self.transport.send(
-                            node, parent, MessageKind.UNSUBSCRIBE, {"segment": seg}
+                            node,
+                            parent,
+                            MessageKind.UNSUBSCRIBE,
+                            {"segment": seg},
+                            trace=ctx,
                         )
             self.transport.drain()
         for node in self.topology.nodes:
@@ -623,14 +739,16 @@ class AsyncSwatAsr:
                 for v in list(row.subscribed):
                     if row.write_count < row.read_counts.get(v, 0):
                         assert row.approx is not None
-                        site.push_update(v, seg, row.approx, MessageKind.UPDATE)
+                        site.push_update(v, seg, row.approx, MessageKind.UPDATE, ctx=ctx)
                 for v in list(row.interested):
                     row.interested.discard(v)
                     if row.write_count < row.read_counts.get(v, 0):
                         row.subscribed.add(v)
                         assert row.approx is not None
-                        site.push_update(v, seg, row.approx, MessageKind.INSERT)
+                        site.push_update(v, seg, row.approx, MessageKind.INSERT, ctx=ctx)
             self.transport.drain()
+        if root_span is not None:
+            root_span.finish(self.sim.now)
         for site in self.sites.values():
             for seg in self._segments:
                 site.directory.row(seg).reset_counts()

@@ -24,6 +24,7 @@ from ..core.queries import InnerProductQuery
 from ..metrics.error import GroundTruthWindow
 from ..network.messages import MessageStats
 from ..network.topology import Topology
+from ..obs import causal as causal_mod
 
 __all__ = ["ReplicationProtocol", "uniform_tolerance", "per_index_tolerances"]
 
@@ -66,6 +67,9 @@ class ReplicationProtocol(abc.ABC):
         # Round-trip hops of the most recent query (0 = served from cache);
         # the harness turns this into a latency figure.
         self.last_query_hops = 0
+        # Causal tracer picked up at construction (None when tracing is off):
+        # the disabled hot path is one attribute check per operation.
+        self.causal = causal_mod.current_causal()
 
     @property
     def is_warm(self) -> bool:

@@ -21,6 +21,7 @@ from ..metrics.error import GroundTruthWindow
 from ..network.messages import MessageStats
 from ..network.topology import Topology
 from ..network.transport import Transport
+from ..obs import causal as causal_mod
 from ..obs import metrics as obs
 from ..simulate.events import Simulator
 from ..simulate.tasks import PeriodicTask
@@ -266,6 +267,19 @@ def run_replication(
         degraded = getattr(protocol, "degraded_count", None)
         if callable(degraded):
             meta["degraded_answers"] = int(degraded())
+
+    # Causal-tracing provenance: when the protocol carries a tracer, report
+    # how much of the run it captured (dropped > 0 means the span cap
+    # sampled some traces out; orphans > 0 means a broken propagation chain
+    # and is asserted zero by the acceptance tests).
+    causal = getattr(protocol, "causal", None)
+    if isinstance(causal, causal_mod.CausalTracer):
+        meta["trace"] = {
+            "traces": len(causal.trace_ids()),
+            "spans": len(causal),
+            "dropped": causal.dropped,
+            "orphans": len(causal.orphan_spans()),
+        }
 
     n_queries = state.queries
     return ReplicationResult(

@@ -20,14 +20,16 @@ import itertools
 import time
 from typing import Callable, List, Optional, Tuple
 
+from ..obs.causal import TraceContext
 from ..obs.trace import EventSpan, Tracer
 
 __all__ = ["Simulator"]
 
 Action = Callable[[], None]
 
-# (due time, FIFO tie-break, action, trace label, scheduled-at time)
-_QueueEntry = Tuple[float, int, Action, Optional[str], float]
+# (due time, FIFO tie-break, action, trace label, scheduled-at time,
+#  causal trace context — propagated to the action when it fires)
+_QueueEntry = Tuple[float, int, Action, Optional[str], float, Optional[TraceContext]]
 
 
 def _label_of(action: Action) -> str:
@@ -49,6 +51,7 @@ class Simulator:
         self._events_run = 0
         #: Optional structured-trace sink; ``None`` disables tracing.
         self.tracer: Optional[Tracer] = tracer
+        self._current_ctx: Optional[TraceContext] = None
 
     @property
     def now(self) -> float:
@@ -65,50 +68,82 @@ class Simulator:
         """Number of events still queued."""
         return len(self._queue)
 
-    def schedule_at(self, when: float, action: Action, label: Optional[str] = None) -> None:
+    @property
+    def current_context(self) -> Optional[TraceContext]:
+        """Causal trace context of the event currently executing.
+
+        Set for the duration of :meth:`step` when the event was scheduled
+        with a ``ctx``; code running inside the action (e.g.
+        :meth:`repro.network.transport.Transport.send`) reads it to attach
+        child spans to the work that caused the event.  ``None`` between
+        events and for context-free events.
+        """
+        return self._current_ctx
+
+    def schedule_at(
+        self,
+        when: float,
+        action: Action,
+        label: Optional[str] = None,
+        ctx: Optional[TraceContext] = None,
+    ) -> None:
         """Schedule ``action`` at absolute virtual time ``when``.
 
         ``label`` names the event in trace spans; it defaults to the
-        action's qualified name.
+        action's qualified name.  ``ctx`` is the causal trace context the
+        action runs under (exposed as :attr:`current_context` while it
+        fires); ``None`` propagates nothing.
         """
         if when < self._now:
             raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
-        heapq.heappush(self._queue, (when, next(self._counter), action, label, self._now))
+        heapq.heappush(
+            self._queue, (when, next(self._counter), action, label, self._now, ctx)
+        )
 
-    def schedule_after(self, delay: float, action: Action, label: Optional[str] = None) -> None:
+    def schedule_after(
+        self,
+        delay: float,
+        action: Action,
+        label: Optional[str] = None,
+        ctx: Optional[TraceContext] = None,
+    ) -> None:
         """Schedule ``action`` after ``delay`` units of virtual time."""
         if delay < 0:
             raise ValueError("delay must be non-negative")
-        self.schedule_at(self._now + delay, action, label)
+        self.schedule_at(self._now + delay, action, label, ctx)
 
     def step(self) -> bool:
         """Execute the next event; return False if the queue is empty."""
         if not self._queue:
             return False
-        when, seq, action, label, scheduled_at = heapq.heappop(self._queue)
+        when, seq, action, label, scheduled_at, ctx = heapq.heappop(self._queue)
         self._now = when
         self._events_run += 1
+        self._current_ctx = ctx
         tracer = self.tracer
-        if tracer is None:
-            action()
-        else:
-            start = time.perf_counter()
-            try:
+        try:
+            if tracer is None:
                 action()
-            finally:
-                # Emit the span even when the action raises: a trace that
-                # silently loses the very event that failed is useless for
-                # post-mortems, and downstream bookkeeping (e.g. transport
-                # in-flight counters) relies on step() not skipping hooks.
-                tracer.on_event_span(
-                    EventSpan(
-                        seq=seq,
-                        label=label or _label_of(action),
-                        scheduled_at=scheduled_at,
-                        fired_at=when,
-                        duration=time.perf_counter() - start,
+            else:
+                start = time.perf_counter()
+                try:
+                    action()
+                finally:
+                    # Emit the span even when the action raises: a trace that
+                    # silently loses the very event that failed is useless for
+                    # post-mortems, and downstream bookkeeping (e.g. transport
+                    # in-flight counters) relies on step() not skipping hooks.
+                    tracer.on_event_span(
+                        EventSpan(
+                            seq=seq,
+                            label=label or _label_of(action),
+                            scheduled_at=scheduled_at,
+                            fired_at=when,
+                            duration=time.perf_counter() - start,
+                        )
                     )
-                )
+        finally:
+            self._current_ctx = None
         return True
 
     def run_until(self, deadline: float) -> None:

@@ -47,6 +47,7 @@ class TestCli:
         expected = {
             "fig4a", "fig4c", "fig5", "fig6a", "fig6b",
             "fig9a", "fig9b", "fig9c", "fig10a", "fig10b", "space", "chaos",
+            "tracedemo",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -103,6 +104,49 @@ class TestStats:
                 if h not in before:
                     logger.removeHandler(h)
             logger.setLevel(logging.NOTSET)
+
+
+class TestTrace:
+    @pytest.fixture()
+    def restore_causal(self, restore_obs):
+        """Trace runs install a process-wide causal tracer; detach it after."""
+        from repro.obs.causal import disable_causal
+
+        yield
+        disable_causal()
+
+    def test_trace_without_target_errors(self, capsys, restore_causal):
+        assert main(["trace"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_trace_mode_prints_summary_and_writes_chrome_json(
+        self, capsys, tmp_path, restore_causal
+    ):
+        from repro.obs.chrome import validate_chrome
+
+        path = tmp_path / "trace.json"
+        code = main(["trace", "tracedemo", "--quick", "--trace-out", str(path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "== causal traces ==" in captured.out
+        assert "critical path" in captured.out
+        assert "orphans=0" in captured.out
+        counts = validate_chrome(json.loads(path.read_text()))
+        assert counts["complete"] > 0
+        assert counts["traces"] > 0
+
+    def test_trace_out_composes_with_plain_experiments(
+        self, tmp_path, restore_causal
+    ):
+        from repro.obs.chrome import validate_chrome
+
+        path = tmp_path / "trace.json"
+        assert main(["tracedemo", "--quick", "--trace-out", str(path)]) == 0
+        validate_chrome(json.loads(path.read_text()))
+
+    def test_trace_out_empty_path_errors(self, capsys, restore_causal):
+        assert main(["tracedemo", "--quick", "--trace-out", ""]) == 2
+        assert "empty path" in capsys.readouterr().err
 
 
 class TestReport:

@@ -100,6 +100,15 @@ class TestStopwatch:
         assert sw.elapsed >= 0.002
         assert sw.mean == pytest.approx(sw.elapsed / 2)
 
+    def test_rate_is_zero_before_first_lap(self):
+        assert Stopwatch().rate == 0.0
+
+    def test_rate_after_laps(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.001)
+        assert sw.rate == pytest.approx(sw.count / sw.elapsed)
+
     def test_double_start_rejected(self):
         sw = Stopwatch()
         sw.start()
@@ -132,9 +141,8 @@ class TestStopwatch:
         sw.count = 10
         assert sw.rate == pytest.approx(5.0)
 
-    def test_rate_empty_rejected(self):
-        with pytest.raises(ValueError):
-            __ = Stopwatch().rate
+    def test_rate_empty_is_zero(self):
+        assert Stopwatch().rate == 0.0
 
     def test_time_call(self):
         result, seconds = time_call(sum, [1, 2, 3])

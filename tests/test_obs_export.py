@@ -86,3 +86,78 @@ class TestRenderText:
     def test_empty_snapshot_hints_at_enablement(self):
         text = obs.render_text(obs.MetricsRegistry().snapshot())
         assert "no metrics recorded" in text
+
+
+# ----------------------------------------------------------- properties
+
+from hypothesis import assume, given  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.obs.metrics import escape_label_value, unescape_label_value  # noqa: E402
+
+# Hostile label values: anything goes except surrogates and the exotic
+# line separators ``str.splitlines`` honours but the exposition-format
+# escaping (backslash / quote / newline only) does not cover.
+_LABEL_VALUES = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs",),
+        blacklist_characters="\r\x0b\x0c\x1c\x1d\x1e\x85\u2028\u2029",
+    ),
+    max_size=30,
+)
+
+# ``%g`` formatting keeps six significant digits; stay under that so the
+# value itself is never the reason a round trip differs.
+_COUNTS = st.integers(min_value=0, max_value=100_000)
+
+
+class TestEscapingProperties:
+    @given(value=_LABEL_VALUES)
+    def test_label_value_escape_round_trips(self, value):
+        escaped = escape_label_value(value)
+        assert "\n" not in escaped  # stays on one exposition line
+        assert unescape_label_value(escaped) == value
+
+    @given(value=_LABEL_VALUES, count=_COUNTS)
+    def test_prometheus_round_trips_hostile_labels(self, value, count):
+        reg = obs.MetricsRegistry()
+        reg.counter("messages.total", protocol=value).inc(count)
+        reg.gauge("queue.depth", site=value).set(count)
+        h = reg.histogram("query.latency", buckets=(0.5,), protocol=value)
+        h.observe(0.25)
+        parsed = obs.parse_prometheus(obs.to_prometheus(reg))
+        snap = reg.snapshot()
+        assert parsed["counters"] == snap["counters"]
+        assert parsed["gauges"] == snap["gauges"]
+        (key,) = snap["histograms"]
+        assert parsed["histograms"][key]["count"] == 1
+        assert parsed["histograms"][key]["buckets"] == {"0.5": 1, "+Inf": 0}
+
+    @given(value=_LABEL_VALUES, count=_COUNTS)
+    def test_json_round_trips_hostile_labels(self, value, count):
+        reg = obs.MetricsRegistry()
+        reg.counter("messages.total", protocol=value).inc(count)
+        h = reg.histogram("query.latency", site=value)
+        h.observe(0.125)
+        rebuilt = obs.from_json(json.loads(json.dumps(obs.to_json(reg))))
+        assert rebuilt.snapshot() == reg.snapshot()
+
+    @given(
+        help_text=st.text(
+            alphabet=st.characters(
+                blacklist_categories=("Cs",),
+                blacklist_characters="\r\x0b\x0c\x1c\x1d\x1e\x85\u2028\u2029",
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_help_text_round_trips(self, help_text):
+        # The exposition format cannot represent leading/trailing blanks in
+        # a help line; hold the property over the canonical (stripped) form.
+        assume(help_text == help_text.strip())
+        reg = obs.MetricsRegistry()
+        reg.counter("messages.total").inc(1)
+        text = obs.to_prometheus(reg, help_text={"messages.total": help_text})
+        parsed = obs.parse_prometheus(text)
+        assert parsed["help"]["messages.total"] == help_text

@@ -68,6 +68,12 @@ class TestHistogram:
         assert h.count == 1
         assert h.sum >= 0.0
 
+    def test_quantile_of_empty_histogram_raises(self):
+        reg = obs.MetricsRegistry()
+        h = reg.histogram("lat")
+        with pytest.raises(ValueError, match="empty"):
+            h.quantile(0.5)
+
     def test_quantile_upper_edge_estimate(self):
         reg = obs.MetricsRegistry()
         h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))

@@ -83,7 +83,7 @@ class TestTransportTracing:
         transport.send(client, topo.root, "query", {"qid": 1})
         transport.drain()
         assert len(received) == 1
-        assert tracer.sends == [(client, topo.root, "query", 0.0)]
+        assert list(tracer.sends) == [(client, topo.root, "query", 0.0)]
         (record,) = tracer.deliveries
         assert record.src == client and record.dst == topo.root
         assert record.hop_latency == pytest.approx(0.25)
@@ -110,3 +110,12 @@ class TestTransportTracing:
         assert tracer.sends[0][3] == 3.0  # oldest dropped
         with pytest.raises(ValueError):
             RecordingTracer(max_records=0)
+
+    def test_recording_tracer_counts_dropped_and_clear_resets(self):
+        tracer = RecordingTracer(max_records=2)
+        for i in range(5):
+            tracer.on_send("a", "b", "query", float(i))
+        assert tracer.dropped == 3
+        tracer.clear()
+        assert tracer.dropped == 0
+        assert len(tracer.sends) == 0
