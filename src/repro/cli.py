@@ -11,13 +11,20 @@ Usage::
     python -m repro chaos --quick         # fault-injection robustness sweep
     python -m repro trace tracedemo --quick       # run + causal-trace summary
     python -m repro trace chaos --trace-out t.json  # Perfetto trace export
-    python -m repro check src             # repo-specific AST lint (REP001-007)
+    python -m repro check src             # repo-specific AST lint (REP001-010)
+    python -m repro shake --seed 7 --permutations 8  # schedule-perturbation
+                                          # determinism check (+ race detector)
 
 ``stats`` (and ``--metrics-out`` on any experiment) turns on
 :mod:`repro.obs` before the run; ``-v`` installs a stderr log handler on the
 ``"repro"`` logger (``-vv`` for debug, e.g. ADR phase decisions).  When a
 run injected faults, ``stats`` appends a fault-injection section (drops,
 retries, degraded answers — see ``docs/robustness.md``).
+
+``shake`` replays a seeded chaos scenario under K seeded permutations of
+same-timestamp event ordering with the runtime race detector installed,
+and exits non-zero on any divergence or detected race (the dynamic prong
+of the determinism sanitizer — see ``docs/static-analysis.md``).
 
 ``trace`` (and ``--trace-out`` on any experiment) installs a process-wide
 causal tracer before the run, prints capture totals plus the slowest
@@ -291,7 +298,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="experiment id (see 'list'), 'all', 'report', 'list', "
         "'stats <experiment>' for a run followed by a metrics report, "
         "'trace <experiment>' for a run with causal tracing and a trace "
-        "summary, or 'check [paths...]' for the repo-specific AST linter",
+        "summary, 'check [paths...]' for the repo-specific AST linter, or "
+        "'shake' for the schedule-perturbation determinism check",
     )
     parser.add_argument(
         "target",
@@ -319,6 +327,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="FILE",
         help="enable causal tracing and write the run's span trees to FILE "
         "as Chrome trace-event JSON (openable in Perfetto)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="for 'shake': base seed of the chaos scenario (default: 0)",
+    )
+    parser.add_argument(
+        "--permutations",
+        type=int,
+        default=8,
+        metavar="K",
+        help="for 'shake': number of seeded same-timestamp permutations "
+        "to replay (default: 8)",
+    )
+    parser.add_argument(
+        "--report-out",
+        default=None,
+        metavar="FILE",
+        help="for 'shake': write the full report (fingerprints, divergences, "
+        "conflicts) as JSON to FILE",
     )
     parser.add_argument(
         "-v",
@@ -367,6 +397,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .devtools.lint import main as lint_main
 
         return lint_main(args.target or ["src"])
+
+    if args.experiment == "shake":
+        import json
+
+        from .simulate.shake import format_shake_report, run_shake
+
+        if args.report_out is not None:
+            parent = os.path.dirname(args.report_out) or "."
+            if not os.path.isdir(parent):
+                print(
+                    f"--report-out: directory {parent!r} does not exist",
+                    file=sys.stderr,
+                )
+                return 2
+        if args.permutations < 1:
+            print("--permutations must be >= 1", file=sys.stderr)
+            return 2
+        report = run_shake(
+            seed=args.seed, permutations=args.permutations, quick=args.quick
+        )
+        print(format_shake_report(report))
+        if args.report_out is not None:
+            with open(args.report_out, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+            print(f"shake report written to {args.report_out}", file=sys.stderr)
+        return 0 if report["deterministic"] else 1
 
     if args.experiment == "stats":
         if len(args.target) != 1:

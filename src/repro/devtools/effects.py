@@ -1,0 +1,532 @@
+"""Effect-summary dataflow analysis behind lint rules REP008-REP010.
+
+The dynamic sanitizer (:mod:`repro.simulate.shake`) can only catch a
+nondeterminism bug that a scenario happens to exercise; this module is the
+static half of the determinism sanitizer, reasoning about *every* event
+handler in the simulation/protocol layers.  For each class it computes a
+per-method **effect summary** over ``self.<attr>`` state:
+
+* **plain writes** — ``self.x = value``: last-writer-wins, so two handlers
+  firing at the same virtual instant race on the final value;
+* **keyed writes** — ``self.x[k] = v``, ``self.x.pop(k)``, ``.add``,
+  ``.discard``, ``.setdefault``, ... : distinct events touch distinct keys
+  in practice, and same-key collisions are the *dynamic* detector's job;
+* **commutative writes** — ``self.x += n`` and friends: order-free by
+  algebra;
+* **reads** — any ``self.x`` load (an augmented assignment is both a read
+  and a commutative write).
+
+**Handlers** are methods whose names follow the repo's event-callback
+conventions (``handle``, ``on_*`` / ``_on_*``, ``apply_*``, ``*_tick``,
+``_deliver*``, ``_fire*``, ``_handle*``) plus anything the class passes to
+``schedule_at`` / ``schedule_after`` / ``register`` or a ``send(...,
+on_failed=...)`` — including through a ``lambda``.  Summaries are merged
+one call level deep through direct ``self.method()`` calls, so a helper's
+effects count against every handler that invokes it (one level is exactly
+the depth REP001/REP002 cannot see; deeper chains are the dynamic prong's
+job).
+
+The rules built on the summaries:
+
+* **REP008** — an attribute plain-written by one handler and read (or
+  plain-written) by a different handler: when both fire at the same
+  timestamp, tie-break order decides the outcome.  Fix with a keyed or
+  commutative structure, or justify with ``# repro: ignore[REP008]`` on
+  the write line.
+* **REP009** — a handler iterating a ``dict``/``set``-typed attribute (or
+  its ``.values()`` / ``.keys()`` / ``.items()``) without ``sorted()``:
+  set order is hash order (varies across processes under
+  ``PYTHONHASHSEED``), and dict order is insertion order (varies with
+  event execution order), so the iteration order leaks into whatever the
+  loop does — message emission order in the worst case.  Attribute types
+  are resolved from annotations collected across the whole enclosing
+  package, so ``row.subscribed`` in ``replication/`` is recognized via
+  the ``Set[str]`` annotation in ``network/directory.py``.
+* **REP010** — an ambient-state API call (module-level ``random.*``,
+  legacy ``np.random.*``, wall-clock reads, ``uuid.uuid4``,
+  ``os.urandom``) lexically inside a handler or a directly-called helper
+  — one interprocedural level beyond what REP001/REP002 check.
+
+Limitations (by design, documented in ``docs/static-analysis.md``):
+effects through local aliases (``row = self.rows[k]; row.x = v``) and
+call chains deeper than one level are not tracked statically — the
+runtime race detector covers those.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple,
+)
+
+if TYPE_CHECKING:  # runtime import stays lazy: lint.py imports this module
+    from .lint import Finding
+
+__all__ = [
+    "FunctionEffects",
+    "ClassEffects",
+    "analyze_module",
+    "unordered_attr_registry",
+    "check_rep008",
+    "check_rep009",
+    "check_rep010",
+]
+
+# Method-name conventions that mark an event handler / protocol callback.
+_HANDLER_NAME_RE = re.compile(
+    r"^(?:handle(?:_.*)?|_handle.*|on_.+|_on_.+|apply_.+|_deliver.*|_fire.*|.*_tick)$"
+)
+
+#: Calls whose callable arguments become simulator/transport callbacks.
+_SCHEDULING_FUNCS = frozenset({"schedule_at", "schedule_after", "register"})
+
+#: Mutating container methods treated as *keyed* writes (order-free across
+#: distinct keys; same-key collisions are the dynamic detector's job).
+_KEYED_MUTATORS = frozenset(
+    {"pop", "popitem", "setdefault", "add", "discard", "remove", "clear",
+     "update", "append", "extend", "insert", "appendleft"}
+)
+
+#: Augmented-assignment operators that commute (integer/accumulator use).
+_COMMUTATIVE_OPS = (ast.Add, ast.Sub, ast.BitOr, ast.BitAnd, ast.Mult)
+
+#: Annotation heads denoting insertion-ordered-by-mutation dicts.
+_DICT_HEADS = frozenset(
+    {"Dict", "dict", "DefaultDict", "defaultdict", "Counter", "Mapping",
+     "MutableMapping", "OrderedDict"}
+)
+#: Annotation heads denoting hash-ordered sets.
+_SET_HEADS = frozenset(
+    {"Set", "set", "frozenset", "FrozenSet", "MutableSet", "AbstractSet"}
+)
+
+
+def _dotted(node: ast.expr) -> Tuple[str, ...]:
+    """``a.b.c`` -> ``("a", "b", "c")``; empty for non-dotted expressions."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+@dataclass
+class FunctionEffects:
+    """Read/write effect summary of one method over ``self.*`` state."""
+
+    name: str
+    node: ast.FunctionDef
+    reads: Dict[str, int] = field(default_factory=dict)
+    plain_writes: Dict[str, int] = field(default_factory=dict)
+    keyed_writes: Set[str] = field(default_factory=set)
+    commutative_writes: Set[str] = field(default_factory=set)
+    #: Direct ``self.method()`` call targets (one-level merge candidates).
+    calls: Set[str] = field(default_factory=set)
+    #: ``for`` loops over order-sensitive iterables: (line, col, description).
+    order_loops: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: Ambient-state API calls: (line, col, dotted name).
+    ambient_calls: List[Tuple[int, int, str]] = field(default_factory=list)
+
+
+@dataclass
+class ClassEffects:
+    """All method summaries of one class plus its identified handlers."""
+
+    name: str
+    functions: Dict[str, FunctionEffects]
+    handlers: Set[str]
+
+    def merged(self, handler: str) -> FunctionEffects:
+        """The handler's effects with direct ``self.method()`` callees
+        folded in (one level of call-graph summarization)."""
+        base = self.functions[handler]
+        out = FunctionEffects(name=handler, node=base.node)
+        for fn_name in [handler, *sorted(base.calls)]:
+            fn = self.functions.get(fn_name)
+            if fn is None:
+                continue
+            for attr, line in fn.reads.items():
+                out.reads.setdefault(attr, line)
+            for attr, line in fn.plain_writes.items():
+                out.plain_writes.setdefault(attr, line)
+            out.keyed_writes |= fn.keyed_writes
+            out.commutative_writes |= fn.commutative_writes
+            out.order_loops.extend(fn.order_loops)
+            out.ambient_calls.extend(fn.ambient_calls)
+        return out
+
+
+# ------------------------------------------------------- attribute registry
+
+_REGISTRY_CACHE: Dict[str, FrozenSet[str]] = {}
+
+
+def _annotation_head(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Subscript):
+        head = _annotation_head(node.value)
+        if head == "Optional":
+            return _annotation_head(node.slice)
+        return head
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return _annotation_head(ast.parse(node.value, mode="eval").body)
+        except SyntaxError:
+            return None
+    return None
+
+
+def _is_unordered_head(head: Optional[str]) -> bool:
+    return head in _DICT_HEADS or head in _SET_HEADS
+
+
+def _collect_unordered_attrs(tree: ast.Module, names: Set[str]) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.AnnAssign):
+            continue
+        target = node.target
+        attr: Optional[str] = None
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            attr = target.attr
+        elif isinstance(target, ast.Name):
+            attr = target.id
+        if attr is not None and _is_unordered_head(_annotation_head(node.annotation)):
+            names.add(attr)
+
+
+def _analysis_root(path: str) -> str:
+    """Topmost enclosing package directory, or the file itself when it is
+    not inside a package (e.g. a lint fixture)."""
+    absolute = os.path.abspath(path)
+    directory = os.path.dirname(absolute)
+    if not os.path.exists(os.path.join(directory, "__init__.py")):
+        return absolute
+    while True:
+        parent = os.path.dirname(directory)
+        if parent == directory or not os.path.exists(
+            os.path.join(parent, "__init__.py")
+        ):
+            return directory
+        directory = parent
+
+
+def unordered_attr_registry(path: str) -> FrozenSet[str]:
+    """Attribute names annotated as dict/set anywhere in the package that
+    contains ``path`` (or in the file itself when standalone).
+
+    Package-wide collection is what lets REP009 recognize
+    ``row.subscribed`` in ``replication/`` code via the annotation in
+    ``network/directory.py`` — a name-based approximation of types that
+    matches this repo's strictly-annotated style.
+    """
+    root = _analysis_root(path)
+    cached = _REGISTRY_CACHE.get(root)
+    if cached is not None:
+        return cached
+    names: Set[str] = set()
+    files: List[str]
+    if os.path.isfile(root):
+        files = [root]
+    else:
+        files = []
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames if not d.startswith("."))
+            files.extend(
+                os.path.join(dirpath, f) for f in sorted(filenames) if f.endswith(".py")
+            )
+    for filename in files:
+        try:
+            with open(filename, "r", encoding="utf-8") as fh:
+                _collect_unordered_attrs(ast.parse(fh.read()), names)
+        except (OSError, SyntaxError):
+            continue
+    registry = frozenset(names)
+    _REGISTRY_CACHE[root] = registry
+    return registry
+
+
+# ------------------------------------------------------------ summarization
+
+#: Seeded RNG construction entry points (mirrors lint.REP001).
+_SEEDED_RNG_ATTRS = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+     "Philox", "Random", "SystemRandom"}
+)
+
+_WALL_CLOCK_SUFFIXES: FrozenSet[Tuple[str, str]] = frozenset(
+    {("time", "time"), ("time", "time_ns"), ("time", "localtime"),
+     ("time", "gmtime"), ("time", "ctime"), ("datetime", "now"),
+     ("datetime", "utcnow"), ("datetime", "today"), ("date", "today")}
+)
+
+_AMBIENT_PAIRS = frozenset({("uuid", "uuid1"), ("uuid", "uuid4"), ("os", "urandom")})
+
+
+def _ambient_name(chain: Tuple[str, ...]) -> Optional[str]:
+    """Dotted name when ``chain`` is an ambient/unseeded-state API call."""
+    if len(chain) == 2 and chain[0] == "random":
+        if chain[1] not in _SEEDED_RNG_ATTRS:
+            return ".".join(chain)
+    if len(chain) == 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+        if chain[2] not in _SEEDED_RNG_ATTRS:
+            return ".".join(chain)
+    if len(chain) >= 2 and (chain[-2], chain[-1]) in _WALL_CLOCK_SUFFIXES:
+        return ".".join(chain)
+    if len(chain) == 2 and chain in _AMBIENT_PAIRS:
+        return ".".join(chain)
+    return None
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``self.x`` -> ``"x"``; anything else -> ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _order_sensitive_iter(
+    node: ast.expr, registry: FrozenSet[str]
+) -> Optional[str]:
+    """A description when iterating ``node`` is order-sensitive.
+
+    Unwraps ``list(...)`` / ``tuple(...)``; ``sorted(...)`` (and
+    ``reversed(sorted(...))`` by extension) is the sanctioned fix and
+    returns ``None``.  Flags ``<chain>.values()/keys()/items()`` and bare /
+    ``list()``-wrapped attribute access when the final attribute name is
+    dict/set-typed per the package registry.
+    """
+    current = node
+    while (
+        isinstance(current, ast.Call)
+        and isinstance(current.func, ast.Name)
+        and len(current.args) == 1
+    ):
+        if current.func.id in ("sorted", "reversed"):
+            return None
+        if current.func.id in ("list", "tuple", "set", "frozenset", "iter"):
+            current = current.args[0]
+            continue
+        break
+    if isinstance(current, ast.Call) and isinstance(current.func, ast.Attribute):
+        if current.func.attr in ("values", "keys", "items") and not current.args:
+            base = current.func.value
+            base_attr = base.attr if isinstance(base, ast.Attribute) else None
+            if base_attr is not None and base_attr in registry:
+                chain = _dotted(current.func)
+                return f"{'.'.join(chain) or base_attr + '.' + current.func.attr}()"
+            return None
+    if isinstance(current, ast.Attribute) and current.attr in registry:
+        chain = _dotted(current)
+        return ".".join(chain) if chain else current.attr
+    return None
+
+
+def _summarize_function(
+    fn: ast.FunctionDef, registry: FrozenSet[str]
+) -> FunctionEffects:
+    effects = FunctionEffects(name=fn.name, node=fn)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    effects.plain_writes.setdefault(attr, node.lineno)
+                elif isinstance(target, ast.Subscript):
+                    sub_attr = _self_attr(target.value)
+                    if sub_attr is not None:
+                        effects.keyed_writes.add(sub_attr)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            attr = _self_attr(node.target)
+            if attr is not None:
+                effects.plain_writes.setdefault(attr, node.lineno)
+        elif isinstance(node, ast.AugAssign):
+            attr = _self_attr(node.target)
+            if attr is not None:
+                if isinstance(node.op, _COMMUTATIVE_OPS):
+                    effects.commutative_writes.add(attr)
+                else:
+                    effects.plain_writes.setdefault(attr, node.lineno)
+                effects.reads.setdefault(attr, node.lineno)
+            elif isinstance(node.target, ast.Subscript):
+                sub_attr = _self_attr(node.target.value)
+                if sub_attr is not None:
+                    effects.keyed_writes.add(sub_attr)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    effects.plain_writes.setdefault(attr, node.lineno)
+                elif isinstance(target, ast.Subscript):
+                    sub_attr = _self_attr(target.value)
+                    if sub_attr is not None:
+                        effects.keyed_writes.add(sub_attr)
+        elif isinstance(node, ast.Call):
+            chain = _dotted(node.func)
+            if len(chain) == 3 and chain[0] == "self" and chain[2] in _KEYED_MUTATORS:
+                effects.keyed_writes.add(chain[1])
+            elif len(chain) == 2 and chain[0] == "self":
+                effects.calls.add(chain[1])
+            ambient = _ambient_name(chain)
+            if ambient is not None:
+                effects.ambient_calls.append((node.lineno, node.col_offset, ambient))
+        elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            attr = _self_attr(node)
+            if attr is not None:
+                effects.reads.setdefault(attr, node.lineno)
+        elif isinstance(node, ast.For):
+            hit = _order_sensitive_iter(node.iter, registry)
+            if hit is not None:
+                effects.order_loops.append(
+                    (node.iter.lineno, node.iter.col_offset, hit)
+                )
+    return effects
+
+
+def _callback_targets(call: ast.Call) -> Iterator[ast.expr]:
+    """Expressions passed to a scheduling call that may name a callback."""
+    func_name = call.func.attr if isinstance(call.func, ast.Attribute) else (
+        call.func.id if isinstance(call.func, ast.Name) else None
+    )
+    if func_name in _SCHEDULING_FUNCS:
+        yield from call.args
+        yield from (kw.value for kw in call.keywords if kw.value is not None)
+    elif func_name == "send":
+        for kw in call.keywords:
+            if kw.arg == "on_failed" and kw.value is not None:
+                yield kw.value
+
+
+def _callback_method_names(expr: ast.expr) -> Iterator[str]:
+    """Self-method names an expression resolves to when used as a callback
+    (``self.m``, or a lambda whose body calls / returns ``self.m``)."""
+    attr = _self_attr(expr)
+    if attr is not None:
+        yield attr
+        return
+    if isinstance(expr, ast.Lambda):
+        for node in ast.walk(expr.body):
+            if isinstance(node, ast.Attribute):
+                inner = _self_attr(node)
+                if inner is not None:
+                    yield inner
+
+
+def analyze_module(tree: ast.Module, path: str) -> List[ClassEffects]:
+    """Effect summaries + handler sets for every class in the module."""
+    registry = unordered_attr_registry(path)
+    out: List[ClassEffects] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        functions: Dict[str, FunctionEffects] = {}
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef):
+                functions[stmt.name] = _summarize_function(stmt, registry)
+        handlers = {
+            name for name in functions if _HANDLER_NAME_RE.match(name) is not None
+        }
+        for fn in functions.values():
+            for call in ast.walk(fn.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                for target in _callback_targets(call):
+                    for name in _callback_method_names(target):
+                        if name in functions:
+                            handlers.add(name)
+        out.append(ClassEffects(name=node.name, functions=functions, handlers=handlers))
+    return out
+
+
+# ------------------------------------------------------------------- rules
+
+
+def check_rep008(tree: ast.Module, path: str) -> Iterator["Finding"]:
+    """Same-timestamp write/read conflicts on shared attributes."""
+    from .lint import Finding
+
+    for cls in analyze_module(tree, path):
+        merged = {h: cls.merged(h) for h in sorted(cls.handlers)}
+        reported: Set[Tuple[str, int]] = set()
+        for writer_name, writer in sorted(merged.items()):
+            for attr, line in sorted(writer.plain_writes.items()):
+                others = [
+                    other_name
+                    for other_name, other in sorted(merged.items())
+                    if other_name != writer_name
+                    and (attr in other.reads or attr in other.plain_writes)
+                ]
+                if not others:
+                    continue
+                key = (attr, line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield Finding(
+                    path, line, 0, "REP008",
+                    f"handler {cls.name}.{writer_name}() plain-writes shared "
+                    f"attribute '{attr}' which handler(s) "
+                    f"{', '.join(others)} also touch; if both fire at one "
+                    "simulated timestamp, tie-break order decides the final "
+                    "value — use a keyed/commutative structure or justify "
+                    "with `# repro: ignore[REP008]`",
+                )
+
+
+def check_rep009(tree: ast.Module, path: str) -> Iterator["Finding"]:
+    """Order-sensitive dict/set iteration inside handler-reachable code."""
+    from .lint import Finding
+
+    for cls in analyze_module(tree, path):
+        reported: Set[Tuple[int, int]] = set()
+        for handler in sorted(cls.handlers):
+            for line, col, desc in cls.merged(handler).order_loops:
+                if (line, col) in reported:
+                    continue
+                reported.add((line, col))
+                yield Finding(
+                    path, line, col, "REP009",
+                    f"handler-reachable iteration over unordered container "
+                    f"{desc} in {cls.name}.{handler}(); set order is hash "
+                    "order and dict order is event-insertion order, so the "
+                    "loop's effect order is nondeterministic — iterate "
+                    "sorted(...) instead",
+                )
+
+
+def check_rep010(tree: ast.Module, path: str) -> Iterator["Finding"]:
+    """Ambient/unseeded API calls reachable from event handlers."""
+    from .lint import Finding
+
+    for cls in analyze_module(tree, path):
+        reported: Set[Tuple[int, int]] = set()
+        for handler in sorted(cls.handlers):
+            for line, col, name in cls.merged(handler).ambient_calls:
+                if (line, col) in reported:
+                    continue
+                reported.add((line, col))
+                yield Finding(
+                    path, line, col, "REP010",
+                    f"ambient-state call {name}() is reachable from event "
+                    f"handler {cls.name}.{handler}(); handler outcomes must "
+                    "be pure functions of seeds and virtual time — inject a "
+                    "seeded Generator or take the time from the simulator",
+                )

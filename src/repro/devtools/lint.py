@@ -34,7 +34,26 @@ REP007    no bare ``except:`` and no swallowed exceptions in the
           handler must name the exception it expects, and a broad
           ``except Exception`` or a silent ``pass`` body hides exactly
           the failures the reliability sublayer exists to surface
+REP008    no same-timestamp write/read conflicts on shared handler state
+          (``simulate/``, ``network/``, ``replication/``) — an attribute
+          plain-written by one event handler and read by another is
+          decided by tie-break order when both fire at one virtual
+          instant; use keyed/commutative structures
+REP009    no order-sensitive dict/set iteration in handler-reachable code
+          (same scope) — set order is hash order, dict order is event
+          insertion order; iterate ``sorted(...)``
+REP010    no ambient-state calls (module-level RNG, wall clock, uuid4,
+          os.urandom) reachable from an event handler, one call level
+          deep — interprocedural extension of REP001/REP002
 ========  ==================================================================
+
+REP008-REP010 are the static prong of the determinism sanitizer; their
+effect-summary analysis lives in :mod:`repro.devtools.effects` and the
+dynamic prong in :mod:`repro.simulate.shake` (``repro shake``).
+
+A finding on any rule can be suppressed for one line with a trailing
+``# repro: ignore[REP008]`` comment (several codes comma-separated);
+suppressions should carry a nearby justification.
 
 Run it as ``python -m tools.lint [paths...]`` or ``repro check [paths...]``;
 the default target is ``src``.  Exit status is 1 when any finding is
@@ -456,6 +475,13 @@ def _check_rep007(tree: ast.Module, path: str) -> Iterator[Finding]:
             )
 
 
+# -------------------------------------------------------- REP008 - REP010
+
+# The determinism-sanitizer rules are built on the effect-summary analysis
+# in repro.devtools.effects (which lazily imports Finding back from here).
+from .effects import check_rep008, check_rep009, check_rep010  # noqa: E402
+
+
 # ------------------------------------------------------------------ registry
 
 RULES: Tuple[Rule, ...] = (
@@ -501,12 +527,47 @@ RULES: Tuple[Rule, ...] = (
         ("network", "replication"),
         _check_rep007,
     ),
+    Rule(
+        "REP008",
+        "no same-timestamp write/read conflicts on shared handler state",
+        ("simulate", "network", "replication"),
+        check_rep008,
+    ),
+    Rule(
+        "REP009",
+        "no order-sensitive dict/set iteration in handler-reachable code",
+        ("simulate", "network", "replication"),
+        check_rep009,
+    ),
+    Rule(
+        "REP010",
+        "no ambient-state calls reachable from event handlers",
+        ("simulate", "network", "replication"),
+        check_rep010,
+    ),
 )
 
 _RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in RULES}
 
 
 # -------------------------------------------------------------------- driver
+
+#: Inline suppression: ``# repro: ignore[REP008]`` (codes comma-separated)
+#: on the finding's line silences those codes for that line only.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+
+def _suppressions(source: str) -> Dict[int, frozenset]:
+    """Map of 1-based line number -> rule codes suppressed on that line."""
+    out: Dict[int, frozenset] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is not None:
+            codes = frozenset(
+                c.strip() for c in match.group(1).split(",") if c.strip()
+            )
+            out[lineno] = codes
+    return out
 
 
 def check_source(
@@ -515,13 +576,17 @@ def check_source(
     """Lint one module's source text; ``path`` scopes directory-bound rules."""
     tree = ast.parse(source, filename=path)
     _attach_parents(tree)
+    suppressed = _suppressions(source)
     findings: List[Finding] = []
     for rule in RULES:
         if select is not None and rule.code not in select:
             continue
         if not rule.applies_to(path):
             continue
-        findings.extend(rule.check(tree, path))
+        findings.extend(
+            f for f in rule.check(tree, path)
+            if f.code not in suppressed.get(f.line, frozenset())
+        )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
 
@@ -561,7 +626,7 @@ def lint_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tools.lint",
-        description="Repo-specific AST linter (rules REP001-REP007).",
+        description="Repo-specific AST linter (rules REP001-REP010).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],

@@ -16,11 +16,22 @@ schedule the transport consults on every transmission:
 * **crash** — a site is down for one or more :class:`CrashWindow` intervals;
   envelopes arriving at a crashed site are lost and its handler never runs.
 
-All randomness flows through one injected ``numpy.random.Generator`` seeded
-at construction (REP001), so a given ``(plan seed, workload seed)`` pair
-replays the exact same fault sequence every run.  Attaching a plan to a
-:class:`~repro.network.transport.Transport` also switches the transport into
-*reliable* mode (acks, retransmission, dedup) — see ``docs/robustness.md``.
+All randomness flows through seeded ``numpy.random`` machinery (REP001), so
+a given ``(plan seed, workload seed)`` pair replays the exact same fault
+sequence every run.  Each roll accepts an optional **key** naming the
+physical transmission it decides (derived by the transport from the edge,
+message kind, per-edge sequence number, attempt, and copy index); a keyed
+roll is a pure function of ``(plan seed, key)``, so a message's fate does
+not depend on the incidental global order in which the simulator happened
+to execute other events.  That property is what the schedule-perturbation
+checker (``repro shake``, :mod:`repro.simulate.shake`) relies on: permuting
+same-timestamp event tie-breaks must not reassign fault decisions between
+unrelated messages.  Unkeyed rolls fall back to one shared stream RNG (the
+pre-keyed behavior, kept for direct callers and tests).
+
+Attaching a plan to a :class:`~repro.network.transport.Transport` also
+switches the transport into *reliable* mode (acks, retransmission, dedup) —
+see ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -99,22 +110,43 @@ class FaultPlan:
 
     # ------------------------------------------------------------- per-send
 
-    def roll_drop(self) -> bool:
-        """One drop decision (consumes one draw only when ``drop_rate > 0``)."""
+    def _keyed_uniform(self, key: Tuple[int, ...]) -> float:
+        """One uniform draw that is a pure function of ``(seed, key)``.
+
+        Derivation goes through :class:`numpy.random.SeedSequence`, whose
+        entropy mixing is documented as stable across platforms and numpy
+        versions, so keyed fault decisions replay bit-identically anywhere.
+        """
+        ss = np.random.SeedSequence(entropy=self.seed, spawn_key=key)
+        return float(np.random.default_rng(ss).random())
+
+    def roll_drop(self, key: Optional[Tuple[int, ...]] = None) -> bool:
+        """One drop decision for the transmission named by ``key``.
+
+        Keyed rolls are order-independent pure functions; an unkeyed roll
+        consumes one draw from the shared stream RNG (only when
+        ``drop_rate > 0``).
+        """
         if self.drop_rate <= 0.0:
             return False
+        if key is not None:
+            return self._keyed_uniform(key) < self.drop_rate
         return bool(self._rng.random() < self.drop_rate)
 
-    def roll_duplicate(self) -> bool:
+    def roll_duplicate(self, key: Optional[Tuple[int, ...]] = None) -> bool:
         """One duplication decision for a transmission that survived drop."""
         if self.duplicate_rate <= 0.0:
             return False
+        if key is not None:
+            return self._keyed_uniform(key) < self.duplicate_rate
         return bool(self._rng.random() < self.duplicate_rate)
 
-    def roll_jitter(self) -> float:
+    def roll_jitter(self, key: Optional[Tuple[int, ...]] = None) -> float:
         """Extra delivery delay for one physical copy."""
         if self.jitter <= 0.0:
             return 0.0
+        if key is not None:
+            return self._keyed_uniform(key) * self.jitter
         return float(self._rng.uniform(0.0, self.jitter))
 
     # -------------------------------------------------------------- crashes

@@ -32,25 +32,55 @@ metric is identical with and without reliability.  ``MessageStats`` counts
 *logical* sends; physical retransmissions show up in the observability
 counters ``transport.retries`` / ``transport.dropped`` /
 ``transport.duplicated`` instead.
+
+Determinism: every fault roll is **keyed** by the logical message's intrinsic
+identity — a stable hash of ``(src, dst, kind)`` plus that edge's per-kind
+sequence number — together with the attempt and copy index, so a message's
+fate is a pure function of the fault-plan seed and the message itself, never
+of the incidental global order in which unrelated simulator events happened
+to execute (see :mod:`repro.network.faults` and ``repro shake``).  With a
+:class:`~repro.simulate.shake.RaceDetector` installed, the reliability
+bookkeeping (``_pending`` / ``_seen``) reports its shared-state accesses so
+same-timestamp conflicts are caught at runtime.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from collections import Counter
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Any, Callable, Dict, Mapping, Optional, Set
+from typing import Any, Callable, Dict, Mapping, Optional, Set, Tuple
 
 from ..obs import metrics as obs
 from ..obs.causal import CausalTracer, Span, TraceContext, current_causal
 from ..obs.trace import FaultRecord, HopRecord, Tracer
+from ..simulate import shake as shake_mod
 from ..simulate.events import Simulator
 from .faults import FaultPlan
 from .messages import MessageKind, MessageStats
 from .topology import Topology
 
 __all__ = ["Envelope", "Transport", "TransportDrainError"]
+
+# Fault-roll purpose codes: the final component of every roll key, so the
+# drop / duplicate / jitter / ack decisions of one transmission consume
+# independent keyed draws (see FaultPlan._keyed_uniform).
+_ROLL_DROP = 0
+_ROLL_DUPLICATE = 1
+_ROLL_JITTER = 2
+_ROLL_ACK_DROP = 3
+_ROLL_ACK_JITTER = 4
+
+
+def _edge_hash(src: str, dst: str, kind: str) -> int:
+    """Stable 64-bit identity of a directed edge + message kind (process- and
+    run-independent, unlike ``hash()`` under hash randomization)."""
+    digest = hashlib.blake2b(
+        f"{src}\x00{dst}\x00{kind}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
 
 
 class TransportDrainError(RuntimeError):
@@ -86,6 +116,11 @@ class Envelope:
     sent_at: float = 0.0
     msg_id: Optional[int] = None
     trace: Optional[TraceContext] = None
+    #: Intrinsic fault-roll identity ``(edge hash, per-edge sequence)``; set
+    #: in reliable mode and shared by every physical copy and ack of the
+    #: logical message, so fault decisions key off *what* the message is,
+    #: not *when* the scheduler happened to process it.
+    fault_key: Optional[Tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "payload", MappingProxyType(dict(self.payload)))
@@ -198,6 +233,11 @@ class Transport:
         # receiver (per destination site, for idempotent delivery).
         self._pending: Dict[int, _PendingSend] = {}
         self._seen: Dict[str, Set[int]] = {}
+        # Intrinsic message identity for keyed fault rolls: a per-(edge, kind)
+        # logical-send counter, and a per-message ack counter (the n-th ack of
+        # one logical message is itself intrinsic to that message).
+        self._edge_seq: Dict[Tuple[str, str, str], int] = {}
+        self._ack_seq: Dict[int, int] = {}
         # Plain reliability counters (always on — cheap int adds); the obs
         # registry mirrors them when observability is enabled.
         self.dropped = 0
@@ -284,9 +324,21 @@ class Transport:
             )
             return
         msg_id = self.fresh_id()
+        edge = (src, dst, kind)
+        seq = self._edge_seq.get(edge, 0) + 1
+        self._edge_seq[edge] = seq
         env = Envelope(
-            src, dst, kind, dict(payload or {}), self.sim.now, msg_id=msg_id, trace=ctx
+            src,
+            dst,
+            kind,
+            dict(payload or {}),
+            self.sim.now,
+            msg_id=msg_id,
+            trace=ctx,
+            fault_key=(_edge_hash(src, dst, kind), seq),
         )
+        if shake_mod.DETECTOR is not None:
+            shake_mod.note_write("transport", "_pending", msg_id)
         self._pending[msg_id] = _PendingSend(env, on_failed, span)
         self._track(env)
         self._transmit(self._pending[msg_id])
@@ -336,24 +388,26 @@ class Transport:
         env = pending.env
         plan = self.faults
         assert plan is not None  # reliable mode only
+        assert env.fault_key is not None
         pending.attempts += 1
+        base = env.fault_key + (pending.attempts,)
         copies = 1
-        if plan.roll_drop():
+        if plan.roll_drop(key=base + (_ROLL_DROP,)):
             copies = 0
             self.dropped += 1
             self._on_fault("drop", env)
             self._causal_event(pending.span, "drop", attempt=pending.attempts)
             if obs.ENABLED:
                 obs.counter("transport.dropped", reason="drop").inc()
-        elif plan.roll_duplicate():
+        elif plan.roll_duplicate(key=base + (_ROLL_DUPLICATE,)):
             copies = 2
             self.duplicated += 1
             self._on_fault("duplicate", env)
             self._causal_event(pending.span, "duplicate", attempt=pending.attempts)
             if obs.ENABLED:
                 obs.counter("transport.duplicated").inc()
-        for _ in range(copies):
-            extra = plan.roll_jitter()
+        for copy_idx in range(copies):
+            extra = plan.roll_jitter(key=base + (_ROLL_JITTER, copy_idx))
             if extra > 0:
                 self._on_fault("jitter", env, detail=f"{extra:.6f}")
                 self._causal_event(pending.span, "jitter", extra=round(extra, 6))
@@ -376,6 +430,8 @@ class Transport:
     def _deliver_reliable(self, env: Envelope) -> None:
         plan = self.faults
         assert plan is not None and env.msg_id is not None
+        if shake_mod.DETECTOR is not None:
+            shake_mod.note_read("transport", "_pending", env.msg_id)
         pending = self._pending.get(env.msg_id)
         span = pending.span if pending is not None else None
         if plan.is_crashed(env.dst, self.sim.now):
@@ -386,6 +442,8 @@ class Transport:
                 obs.counter("transport.dropped", reason="crash").inc()
             return
         seen = self._seen.setdefault(env.dst, set())
+        if shake_mod.DETECTOR is not None:
+            shake_mod.note_write("transport", f"_seen[{env.dst}]", env.msg_id)
         if env.msg_id in seen:
             # Duplicate or retransmitted copy: never re-dispatch, but re-ack
             # so a lost ack cannot stall the sender forever.
@@ -428,12 +486,16 @@ class Transport:
         links (drop + jitter) but are never duplicated or retried."""
         plan = self.faults
         assert plan is not None and env.msg_id is not None
+        assert env.fault_key is not None
+        n = self._ack_seq.get(env.msg_id, 0) + 1
+        self._ack_seq[env.msg_id] = n
+        ack_key = env.fault_key + (n,)
         self.acks += 1
         if obs.ENABLED:
             obs.counter("transport.acks").inc()
         if self.tracer is not None:
             self.tracer.on_send(env.dst, env.src, MessageKind.ACK, self.sim.now)
-        if plan.roll_drop():
+        if plan.roll_drop(key=ack_key + (_ROLL_ACK_DROP,)):
             self.dropped += 1
             self._on_fault(
                 "drop",
@@ -448,13 +510,15 @@ class Transport:
             return
         msg_id = env.msg_id
         self.sim.schedule_after(
-            self.latency + plan.roll_jitter(),
+            self.latency + plan.roll_jitter(key=ack_key + (_ROLL_ACK_JITTER,)),
             lambda: self._ack_received(msg_id),
             label="transport.ack",
             ctx=env.trace,
         )
 
     def _ack_received(self, msg_id: int) -> None:
+        if shake_mod.DETECTOR is not None:
+            shake_mod.note_write("transport", "_pending", msg_id)
         pending = self._pending.pop(msg_id, None)
         if pending is None:
             return  # already acked (earlier copy) or already declared failed
@@ -462,6 +526,8 @@ class Transport:
         self._untrack(pending.env)
 
     def _on_timeout(self, msg_id: int, expected_attempts: int) -> None:
+        if shake_mod.DETECTOR is not None:
+            shake_mod.note_read("transport", "_pending", msg_id)
         pending = self._pending.get(msg_id)
         if pending is None or pending.attempts != expected_attempts:
             return  # acked meanwhile, or a newer transmission owns the timer
@@ -495,8 +561,11 @@ class Transport:
         return self._in_flight
 
     def in_flight_kinds(self) -> Dict[str, int]:
-        """Per-kind breakdown of :attr:`in_flight` (diagnostics)."""
-        return {kind: n for kind, n in self._in_flight_kinds.items() if n > 0}
+        """Per-kind breakdown of :attr:`in_flight` (diagnostics); keys are
+        sorted so reports are stable regardless of send order."""
+        return {kind: self._in_flight_kinds[kind]
+                for kind in sorted(self._in_flight_kinds)
+                if self._in_flight_kinds[kind] > 0}
 
     def fault_counters(self) -> Dict[str, int]:
         """Snapshot of the reliability counters (all zero on a fault-free run)."""

@@ -170,7 +170,10 @@ class SwatAsr(ReplicationProtocol):
         row.approx = rng
         if was_cached and not enclosed:
             row.write_count += 1
-            for child in list(row.subscribed):
+            # Sorted: subscriber sets are hash-ordered, and the emission
+            # order of cascaded UPDATEs must not depend on PYTHONHASHSEED
+            # (REP009).
+            for child in sorted(row.subscribed):
                 self.stats.record(MessageKind.UPDATE)
                 hop_ctx = self._traced_hop(MessageKind.UPDATE, node, child, at, ctx)
                 self._apply_update(child, seg, rng, at=at, ctx=hop_ctx)
@@ -302,13 +305,15 @@ class SwatAsr(ReplicationProtocol):
                 if node != root and not row.is_cached:
                     row.interested.clear()
                     continue
-                for v in list(row.subscribed):
+                # Sorted: iteration feeds message emission; set order is
+                # hash order and must not leak into the trace (REP009).
+                for v in sorted(row.subscribed):
                     if row.write_count < row.read_counts.get(v, 0):
                         # Refresh a subscriber whose cached range proved too wide.
                         self.stats.record(MessageKind.UPDATE)
                         hop_ctx = self._traced_hop(MessageKind.UPDATE, node, v, now, ctx)
                         self._apply_update(v, seg, row.approx, at=now, ctx=hop_ctx)
-                for v in list(row.interested):
+                for v in sorted(row.interested):
                     row.interested.discard(v)
                     if row.write_count < row.read_counts.get(v, 0):
                         logger.debug(
@@ -323,9 +328,9 @@ class SwatAsr(ReplicationProtocol):
                         self.sites[v].row(seg).approx = row.approx
         if phase_span is not None:
             phase_span.finish(now)
-        for directory in self.sites.values():
+        for node in self.topology.nodes:
             for seg in self._segments:
-                directory.row(seg).reset_counts()
+                self.sites[node].row(seg).reset_counts()
         if self._check_invariants:
             contracts.check_asr(self)
 

@@ -61,6 +61,7 @@ from ..network.transport import Envelope, Transport
 from ..obs import causal as causal_mod
 from ..obs import metrics as obs
 from ..obs.causal import CausalTracer, Span, TraceContext
+from ..simulate import shake as shake_mod
 from ..simulate.events import Simulator
 
 __all__ = ["AsyncSwatAsr", "QueryOutcome", "DEGRADED_WIDEN_FACTOR"]
@@ -173,6 +174,9 @@ class _Site:
     ) -> Optional[_AnswerPayload]:
         """Figure 8(a) query branch: whole-query precision test at this site."""
         by_segment = self.system.group_by_segment(query)
+        if shake_mod.DETECTOR is not None:
+            for seg in by_segment:
+                shake_mod.note_read(f"site:{self.id}", "directory", seg)
         weights = dict(zip(query.indices, query.weights))
         if self.id == self.system.topology.root:
             for seg in by_segment:
@@ -305,11 +309,15 @@ class _Site:
         if payload is not None:
             self._respond(env.src, {"qid": qid, **payload}, ctx=env.trace)
             return
+        if shake_mod.DETECTOR is not None:
+            shake_mod.note_write(f"site:{self.id}", "pending", qid)
         self.pending[qid] = ("child", env.src, env.trace)
         self._forward_query(qid, query, env.trace)
 
     def _handle_response(self, env: Envelope) -> None:
         qid = env.payload["qid"]
+        if shake_mod.DETECTOR is not None:
+            shake_mod.note_write(f"site:{self.id}", "pending", qid)
         entry = self.pending.pop(qid, None)
         if entry is None:
             # The query was already answered degraded: the root-ward forward
@@ -329,6 +337,8 @@ class _Site:
     def _on_forward_failed(self, qid: int, query: InnerProductQuery) -> None:
         """Root-ward forward exhausted its retries: serve the last-known
         summary from *this* site instead of raising (Figure 8(a) degraded)."""
+        if shake_mod.DETECTOR is not None:
+            shake_mod.note_write(f"site:{self.id}", "pending", qid)
         entry = self.pending.pop(qid, None)
         if entry is None:
             return  # already answered through another path
@@ -375,6 +385,8 @@ class _Site:
                     )
                 return
             self._applied_version[seg] = version
+        if shake_mod.DETECTOR is not None:
+            shake_mod.note_write(f"site:{self.id}", "directory", seg)
         row = self.directory.row(seg)
         was_cached = row.is_cached
         enclosed = row.encloses(rng)
@@ -382,7 +394,10 @@ class _Site:
         self.last_update_at[seg] = self.system.sim.now
         if was_cached and not enclosed:
             row.write_count += 1
-            for child in list(row.subscribed):
+            # Sorted, not set order: which child's UPDATE is *sent* first
+            # decides per-edge fault-roll sequence numbers, so set iteration
+            # would leak hash order into delivery fates (REP009).
+            for child in sorted(row.subscribed):
                 self.push_update(child, seg, rng, MessageKind.UPDATE, ctx=ctx)
 
     def push_update(
@@ -408,6 +423,8 @@ class _Site:
     def _on_push_failed(self, child: str, seg: Segment) -> None:
         if obs.ENABLED:
             obs.counter("asr.unsynced_marks", site=self.id).inc()
+        if shake_mod.DETECTOR is not None:
+            shake_mod.note_write(f"site:{self.id}", "unsynced", child)
         self.unsynced.setdefault(child, set()).add(seg)
         # Reconciliation loop: bounded per-message retries plus a periodic
         # re-sync attempt, the standard shape for AP systems — the loop keeps
@@ -417,14 +434,18 @@ class _Site:
     def _schedule_resync(self) -> None:
         if self._resync_scheduled:
             return
-        self._resync_scheduled = True
+        # Benign by idempotence: the guard only ever collapses concurrent
+        # schedule requests into one pending tick, and a spurious extra tick
+        # would re-check `unsynced` and no-op.  Tie-break order cannot change
+        # observable behavior, so the write/read race is excused.
+        self._resync_scheduled = True  # repro: ignore[REP008]
         delay = self.system.transport.retry_timeout * 4.0
         self.system.sim.schedule_after(
             delay, self._resync_tick, label=f"asr.resync:{self.id}"
         )
 
     def _resync_tick(self) -> None:
-        self._resync_scheduled = False
+        self._resync_scheduled = False  # repro: ignore[REP008]
         self.resync()
         if self.unsynced:
             self._schedule_resync()
@@ -437,10 +458,14 @@ class _Site:
         span: Optional[Span] = None
         ctx: Optional[TraceContext] = None
         pushes = 0
-        for child in list(self.unsynced):
+        # Sorted: re-sync pushes are message emission, so dict order here
+        # would feed hash order into per-edge fault-roll sequences (REP009).
+        for child in sorted(self.unsynced):
             if not transport.is_up(child):
                 self._schedule_resync()  # still down: try again later
                 continue
+            if shake_mod.DETECTOR is not None:
+                shake_mod.note_write(f"site:{self.id}", "unsynced", child)
             segments = self.unsynced.pop(child)
             for seg in sorted(segments, key=lambda s: (s.newest, s.oldest)):
                 row = self.directory.row(seg)
@@ -736,11 +761,14 @@ class AsyncSwatAsr:
                 if node != root and not row.is_cached:
                     row.interested.clear()
                     continue
-                for v in list(row.subscribed):
+                # Sorted, not set order: these pushes are message emission,
+                # so iteration order decides per-edge fault-roll sequence
+                # numbers (REP009); hash order must not leak into fates.
+                for v in sorted(row.subscribed):
                     if row.write_count < row.read_counts.get(v, 0):
                         assert row.approx is not None
                         site.push_update(v, seg, row.approx, MessageKind.UPDATE, ctx=ctx)
-                for v in list(row.interested):
+                for v in sorted(row.interested):
                     row.interested.discard(v)
                     if row.write_count < row.read_counts.get(v, 0):
                         row.subscribed.add(v)
@@ -749,9 +777,9 @@ class AsyncSwatAsr:
             self.transport.drain()
         if root_span is not None:
             root_span.finish(self.sim.now)
-        for site in self.sites.values():
+        for node in self.topology.nodes:
             for seg in self._segments:
-                site.directory.row(seg).reset_counts()
+                self.sites[node].directory.row(seg).reset_counts()
         if self._check:
             contracts.check_async_asr(self)
 

@@ -11,6 +11,21 @@ Tracing: set :attr:`Simulator.tracer` to a :class:`repro.obs.trace.Tracer`
 to receive an :class:`~repro.obs.trace.EventSpan` per executed event
 (scheduled-at, fired-at, action label, wall-clock duration).  The default is
 ``None``, so a non-traced run pays one attribute check per event.
+
+Determinism sanitizer hooks (see :mod:`repro.simulate.shake` and
+``docs/static-analysis.md``, "Determinism sanitizer"):
+
+* ``tiebreak`` — an optional seeded ``() -> float`` callable that replaces
+  the constant secondary sort key of same-timestamp events, deterministically
+  *permuting* their execution order.  Code whose outcome is independent of
+  same-timestamp tie-breaking produces bit-identical results under any
+  tiebreak; ``repro shake`` asserts exactly that.
+* ``probe`` — an optional :class:`EventProbe` notified around every executed
+  event with the event's id, its scheduling parent's id, the virtual fire
+  time, and the label.  The runtime race detector uses this to attribute
+  shared-state accesses to events and to excuse causally-ordered pairs.
+
+Both default to ``None`` and cost one attribute check per event when unset.
 """
 
 from __future__ import annotations
@@ -18,18 +33,36 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Protocol, Tuple
 
 from ..obs.causal import TraceContext
 from ..obs.trace import EventSpan, Tracer
 
-__all__ = ["Simulator"]
+__all__ = ["EventProbe", "Simulator"]
 
 Action = Callable[[], None]
 
-# (due time, FIFO tie-break, action, trace label, scheduled-at time,
-#  causal trace context — propagated to the action when it fires)
-_QueueEntry = Tuple[float, int, Action, Optional[str], float, Optional[TraceContext]]
+# (due time, tie-break key, FIFO sequence / event id, action, trace label,
+#  scheduled-at time, causal trace context, scheduling parent's event id)
+_QueueEntry = Tuple[
+    float, float, int, Action, Optional[str], float, Optional[TraceContext],
+    Optional[int],
+]
+
+
+class EventProbe(Protocol):
+    """Observer notified around every executed simulator event."""
+
+    def begin_event(
+        self, event_id: int, parent_id: Optional[int], when: float, label: str
+    ) -> None:
+        """The event is about to run; ``parent_id`` is the event during whose
+        execution it was scheduled (``None`` for driver-scheduled events)."""
+        ...
+
+    def end_event(self) -> None:
+        """The event's action returned (or raised)."""
+        ...
 
 
 def _label_of(action: Action) -> str:
@@ -42,16 +75,29 @@ class Simulator:
 
     Events scheduled for the same instant execute in scheduling order, which
     keeps runs reproducible.  Time is a float in seconds of virtual time.
+
+    ``tiebreak``, when given, supplies a secondary sort key per scheduled
+    event (drawn once at schedule time), deterministically permuting the
+    order of same-timestamp events — the schedule-perturbation mode of
+    ``repro shake``.  Distinct timestamps are never reordered.
     """
 
-    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        tiebreak: Optional[Callable[[], float]] = None,
+    ) -> None:
         self._now = 0.0
         self._queue: List[_QueueEntry] = []
         self._counter = itertools.count()
         self._events_run = 0
         #: Optional structured-trace sink; ``None`` disables tracing.
         self.tracer: Optional[Tracer] = tracer
+        #: Optional race-detector hook; ``None`` disables event attribution.
+        self.probe: Optional[EventProbe] = None
+        self._tiebreak = tiebreak
         self._current_ctx: Optional[TraceContext] = None
+        self._current_event: Optional[int] = None
 
     @property
     def now(self) -> float:
@@ -80,6 +126,11 @@ class Simulator:
         """
         return self._current_ctx
 
+    @property
+    def current_event(self) -> Optional[int]:
+        """Id of the event currently executing (``None`` between events)."""
+        return self._current_event
+
     def schedule_at(
         self,
         when: float,
@@ -96,8 +147,11 @@ class Simulator:
         """
         if when < self._now:
             raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
+        tb = 0.0 if self._tiebreak is None else self._tiebreak()
         heapq.heappush(
-            self._queue, (when, next(self._counter), action, label, self._now, ctx)
+            self._queue,
+            (when, tb, next(self._counter), action, label, self._now,
+             ctx, self._current_event),
         )
 
     def schedule_after(
@@ -116,11 +170,17 @@ class Simulator:
         """Execute the next event; return False if the queue is empty."""
         if not self._queue:
             return False
-        when, seq, action, label, scheduled_at, ctx = heapq.heappop(self._queue)
+        when, _tb, seq, action, label, scheduled_at, ctx, parent = heapq.heappop(
+            self._queue
+        )
         self._now = when
         self._events_run += 1
         self._current_ctx = ctx
+        self._current_event = seq
         tracer = self.tracer
+        probe = self.probe
+        if probe is not None:
+            probe.begin_event(seq, parent, when, label or _label_of(action))
         try:
             if tracer is None:
                 action()
@@ -144,6 +204,9 @@ class Simulator:
                     )
         finally:
             self._current_ctx = None
+            self._current_event = None
+            if probe is not None:
+                probe.end_event()
         return True
 
     def run_until(self, deadline: float) -> None:

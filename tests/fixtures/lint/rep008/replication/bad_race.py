@@ -1,0 +1,29 @@
+"""Racy handler pair: two event handlers plain-write the same attribute.
+
+Flagged statically by REP008, and — because the writes are also reported to
+:mod:`repro.simulate.shake` — caught at runtime by the race detector when
+both handlers fire at one simulated timestamp (see ``tests/test_shake.py``,
+which drives this exact class under a Simulator to prove the same bug is
+caught by BOTH prongs of the determinism sanitizer).
+"""
+
+from repro.simulate import shake
+
+
+class RacyMirror:
+    """``last_update`` is last-writer-wins across two handlers: when
+    ``on_data`` and ``on_reset`` fire at the same virtual instant, the
+    surviving value depends on tie-break order."""
+
+    def __init__(self) -> None:
+        self.last_update: float = 0.0
+        self.total: float = 0.0
+
+    def on_data(self, value: float) -> None:
+        shake.note_write("mirror", "last_update")
+        self.last_update = value
+        self.total += value  # commutative: NOT flagged
+
+    def on_reset(self, marker: float) -> None:
+        shake.note_write("mirror", "last_update")
+        self.last_update = marker

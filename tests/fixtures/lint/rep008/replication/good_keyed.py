@@ -1,0 +1,31 @@
+"""Determinism-safe shared state: keyed, commutative, or justified.
+
+Keyed writes touch distinct keys per event, commutative writes are
+order-free by algebra, and the one genuinely shared flag carries a
+justified inline suppression — so REP008 stays quiet.
+"""
+
+from typing import Dict
+
+
+class KeyedAggregator:
+    def __init__(self) -> None:
+        self.by_key: Dict[str, float] = {}
+        self.total: float = 0.0
+        self._dirty: bool = False
+
+    def on_data(self, key: str, value: float) -> None:
+        self.by_key[key] = value  # keyed: distinct events write distinct keys
+        self.total += value  # commutative accumulator
+
+    def on_query(self, key: str) -> float:
+        return self.by_key.get(key, 0.0) + self.total
+
+    # Both _dirty writers store constants: any same-timestamp interleaving
+    # lands in one of the two intended states, and the phase-end invariant
+    # tolerates either — hence the justified suppressions.
+    def on_flush(self) -> None:
+        self._dirty = False  # repro: ignore[REP008]
+
+    def on_mark(self) -> None:
+        self._dirty = True  # repro: ignore[REP008]

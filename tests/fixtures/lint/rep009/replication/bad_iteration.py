@@ -1,0 +1,25 @@
+"""Order-sensitive iteration leaking into handler effects: REP009 bait.
+
+Set iteration order is hash order (varies with ``PYTHONHASHSEED``) and
+dict order is insertion order (varies with event execution order); all
+three loops below feed message emission from handler-reachable code.
+"""
+
+from typing import Callable, Dict, Set
+
+
+class FanoutRouter:
+    def __init__(self) -> None:
+        self.subscribers: Set[str] = set()
+        self.pending: Dict[int, str] = {}
+
+    def on_update(self, send: Callable[[object], None]) -> None:
+        for child in self.subscribers:  # hash-ordered set
+            send(child)
+        for qid in self.pending.keys():  # insertion-ordered dict view
+            send(qid)
+
+    def _handle_flush(self, send: Callable[[object], None]) -> None:
+        # list() only snapshots the (still nondeterministic) order.
+        for qid in list(self.pending.items()):
+            send(qid)

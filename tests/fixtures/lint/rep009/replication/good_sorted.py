@@ -1,0 +1,23 @@
+"""Deterministic iteration: sorted() in handlers, free order off-handler."""
+
+from typing import Callable, Dict, Set
+
+
+class SortedRouter:
+    def __init__(self) -> None:
+        self.subscribers: Set[str] = set()
+        self.pending: Dict[int, str] = {}
+
+    def on_update(self, send: Callable[[object], None]) -> None:
+        for child in sorted(self.subscribers):
+            send(child)
+        for qid in sorted(self.pending):
+            send(qid)
+
+    def collect_stats(self) -> int:
+        # Not an event handler and not handler-reachable: driver-side
+        # iteration order cannot leak into simulated outcomes.
+        count = 0
+        for _qid in self.pending:
+            count += 1
+        return count

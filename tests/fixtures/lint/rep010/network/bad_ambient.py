@@ -1,0 +1,19 @@
+"""Ambient state reachable from an event handler: REP010 bait.
+
+``_retry`` is not itself a handler, but ``on_send`` calls it directly, so
+the one-level call-graph merge attributes its ambient calls to the handler.
+"""
+
+import os
+import random
+import uuid
+
+
+class JitteryLink:
+    def on_send(self, env: object) -> None:
+        if random.random() < 0.5:  # module-level RNG in a handler
+            self._retry(env)
+
+    def _retry(self, env: object) -> None:
+        env.msg_id = uuid.uuid4()  # type: ignore[attr-defined]
+        env.nonce = os.urandom(8)  # type: ignore[attr-defined]

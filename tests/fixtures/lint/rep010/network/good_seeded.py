@@ -1,0 +1,15 @@
+"""Handler purity done right: injected seeded Generator, virtual time."""
+
+
+class SeededLink:
+    def __init__(self, rng: object, counter: int = 0) -> None:
+        self.rng = rng
+        self.counter = counter
+
+    def on_send(self, env: object, now: float) -> None:
+        if self.rng.uniform() < 0.5:  # type: ignore[attr-defined]
+            self._retry(env, now)
+
+    def _retry(self, env: object, now: float) -> None:
+        env.sent_at = now  # type: ignore[attr-defined]
+        self.counter += 1

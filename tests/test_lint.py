@@ -35,6 +35,9 @@ class TestRuleFixtures:
             ("REP005", fixture("rep005", "pkg", "bad_mutable_default.py"), 3),
             ("REP006", fixture("rep006", "core", "bad_scalar_loop.py"), 3),
             ("REP007", fixture("rep007", "network", "bad_swallow.py"), 3),
+            ("REP008", fixture("rep008", "replication", "bad_race.py"), 2),
+            ("REP009", fixture("rep009", "replication", "bad_iteration.py"), 3),
+            ("REP010", fixture("rep010", "network", "bad_ambient.py"), 3),
         ],
     )
     def test_rule_fires_on_bad_fixture(self, rule, bad, expected_count):
@@ -51,6 +54,9 @@ class TestRuleFixtures:
             fixture("rep005", "pkg", "good_mutable_default.py"),
             fixture("rep006", "core", "good_batched.py"),
             fixture("rep007", "network", "good_handlers.py"),
+            fixture("rep008", "replication", "good_keyed.py"),
+            fixture("rep009", "replication", "good_sorted.py"),
+            fixture("rep010", "network", "good_seeded.py"),
         ],
     )
     def test_rule_quiet_on_good_fixture(self, good):
@@ -152,6 +158,111 @@ class TestRuleSemantics:
         )
         assert check_source(src, "pkg/core/swat.py") == []
 
+    def test_rep008_keyed_and_commutative_writes_are_clean(self):
+        src = (
+            "class P:\n"
+            "    def on_data(self, k, v):\n"
+            "        self.rows[k] = v\n"
+            "        self.count += 1\n"
+            "    def on_query(self, k):\n"
+            "        return self.rows.get(k), self.count\n"
+        )
+        assert check_source(src, "pkg/replication/proto.py") == []
+
+    def test_rep008_flags_write_through_helper(self):
+        # The plain write sits in a helper; the one-level merge attributes
+        # it to both handlers that call the helper.
+        src = (
+            "class P:\n"
+            "    def on_data(self, v):\n"
+            "        self._stamp(v)\n"
+            "    def on_query(self, v):\n"
+            "        self._stamp(v)\n"
+            "    def _stamp(self, v):\n"
+            "        self.last = v\n"
+        )
+        codes = [f.code for f in check_source(src, "pkg/replication/proto.py")]
+        assert codes == ["REP008"]
+
+    def test_rep008_single_writer_without_reader_is_clean(self):
+        src = (
+            "class P:\n"
+            "    def on_data(self, v):\n"
+            "        self.last = v\n"
+            "    def on_query(self, k):\n"
+            "        return k\n"
+        )
+        assert check_source(src, "pkg/replication/proto.py") == []
+
+    def test_rep009_requires_annotated_unordered_type(self):
+        # Without a dict/set annotation anywhere, the attribute's type is
+        # unknown and the rule stays quiet (no false positives on lists).
+        src = (
+            "class P:\n"
+            "    def on_data(self, send):\n"
+            "        for c in self.children:\n"
+            "            send(c)\n"
+        )
+        assert check_source(src, "pkg/replication/proto.py") == []
+
+    def test_rep010_allows_injected_generator_and_perf_counter(self):
+        src = (
+            "import time\n"
+            "class P:\n"
+            "    def on_data(self, v):\n"
+            "        t0 = time.perf_counter()\n"
+            "        return self.rng.uniform() + t0\n"
+        )
+        assert check_source(src, "pkg/network/link.py") == []
+
+    def test_rep010_scoped_outside_handlers(self):
+        # Ambient calls in non-handler, non-handler-reachable code are
+        # REP001/REP002's business, not REP010's.
+        src = (
+            "import random\n"
+            "class P:\n"
+            "    def build_report(self):\n"
+            "        return random.random()\n"
+        )
+        only = check_source(src, "pkg/network/link.py", select=["REP010"])
+        assert only == []
+
+
+class TestSuppression:
+    """`# repro: ignore[REPxxx]` silences exactly the named codes, on
+    exactly the finding's line."""
+
+    RACY = (
+        "class P:\n"
+        "    def on_data(self, v):\n"
+        "        self.last = v{comment}\n"
+        "    def on_query(self, k):\n"
+        "        return self.last\n"
+    )
+
+    def test_suppression_silences_named_code(self):
+        src = self.RACY.format(comment="  # repro: ignore[REP008]")
+        assert check_source(src, "pkg/replication/proto.py") == []
+
+    def test_unsuppressed_source_still_fires(self):
+        src = self.RACY.format(comment="")
+        codes = [f.code for f in check_source(src, "pkg/replication/proto.py")]
+        assert codes == ["REP008"]
+
+    def test_suppression_is_code_specific(self):
+        src = self.RACY.format(comment="  # repro: ignore[REP009]")
+        codes = [f.code for f in check_source(src, "pkg/replication/proto.py")]
+        assert codes == ["REP008"]
+
+    def test_suppression_accepts_code_lists(self):
+        src = self.RACY.format(comment="  # repro: ignore[REP009, REP008]")
+        assert check_source(src, "pkg/replication/proto.py") == []
+
+    def test_suppression_on_other_line_does_not_leak(self):
+        src = "# repro: ignore[REP008]\n" + self.RACY.format(comment="")
+        codes = [f.code for f in check_source(src, "pkg/replication/proto.py")]
+        assert codes == ["REP008"]
+
 
 class TestDriver:
     def test_lint_paths_walks_directories(self):
@@ -159,6 +270,7 @@ class TestDriver:
         codes = {f.code for f in findings}
         assert codes == {
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+            "REP008", "REP009", "REP010",
         }
 
     def test_lint_paths_missing_target_raises(self):
@@ -171,6 +283,7 @@ class TestDriver:
     def test_rule_registry_is_complete(self):
         assert [r.code for r in RULES] == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+            "REP008", "REP009", "REP010",
         ]
 
 
@@ -205,6 +318,9 @@ class TestEntryPoints:
             cwd=REPO, capture_output=True, text=True,
         )
         assert proc.returncode == 0
-        codes = ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007")
+        codes = (
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+            "REP008", "REP009", "REP010",
+        )
         for code in codes:
             assert code in proc.stdout

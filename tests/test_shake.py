@@ -1,0 +1,338 @@
+"""The dynamic determinism sanitizer: runtime race detection, seeded
+schedule perturbation, fingerprinting, and the ``repro shake`` CLI.
+
+The headline property: the chaos scenario (faults, crash, retries) is a
+pure function of its seeds — K seeded permutations of same-timestamp event
+order produce bit-identical observable outcomes, across processes and
+``PYTHONHASHSEED`` values.  The rep008 lint fixture doubles as the racy
+specimen proving the same bug is caught by BOTH prongs (statically by
+REP008, dynamically by the RaceDetector).
+"""
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.devtools.lint import lint_file
+from repro.network.faults import FaultPlan
+from repro.simulate import shake
+from repro.simulate.events import Simulator
+from repro.simulate.shake import (
+    RaceDetector,
+    fingerprint_digest,
+    fingerprint_system,
+    first_divergence,
+    run_shake,
+    seeded_tiebreak,
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+RACY_FIXTURE = os.path.join(
+    HERE, "fixtures", "lint", "rep008", "replication", "bad_race.py"
+)
+
+
+def load_fixture_module(path, name="racy_fixture"):
+    spec = importlib.util.spec_from_file_location(name, path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestBothProngs:
+    """One seeded racy handler pair, caught statically AND dynamically."""
+
+    def test_static_prong_flags_the_racy_fixture(self):
+        codes = [f.code for f in lint_file(RACY_FIXTURE)]
+        assert codes == ["REP008", "REP008"]
+
+    def test_dynamic_prong_catches_the_same_race(self):
+        mod = load_fixture_module(RACY_FIXTURE)
+        mirror = mod.RacyMirror()
+        sim = Simulator()
+        detector = RaceDetector()
+        detector.install(sim)
+        try:
+            sim.schedule_at(1.0, lambda: mirror.on_data(2.0))
+            sim.schedule_at(1.0, lambda: mirror.on_reset(0.0))
+            sim.run()
+        finally:
+            detector.uninstall(sim)
+        assert detector.conflict_count >= 1
+        assert any(
+            c.owner == "mirror" and c.attr == "last_update"
+            for c in detector.conflicts
+        )
+
+    def test_distinct_timestamps_do_not_race(self):
+        mod = load_fixture_module(RACY_FIXTURE)
+        mirror = mod.RacyMirror()
+        sim = Simulator()
+        detector = RaceDetector()
+        detector.install(sim)
+        try:
+            sim.schedule_at(1.0, lambda: mirror.on_data(2.0))
+            sim.schedule_at(2.0, lambda: mirror.on_reset(0.0))
+            sim.run()
+        finally:
+            detector.uninstall(sim)
+        assert detector.conflict_count == 0
+
+
+class TestRaceDetector:
+    def run_events(self, *builders):
+        """Install a detector, run scheduled builders, return it."""
+        sim = Simulator()
+        detector = RaceDetector()
+        detector.install(sim)
+        try:
+            for builder in builders:
+                builder(sim)
+            sim.run()
+        finally:
+            detector.uninstall(sim)
+        return detector
+
+    def test_same_timestamp_write_write_conflicts(self):
+        det = self.run_events(
+            lambda sim: sim.schedule_at(1.0, lambda: shake.note_write("o", "a")),
+            lambda sim: sim.schedule_at(1.0, lambda: shake.note_write("o", "a")),
+        )
+        assert det.conflict_count == 1
+
+    def test_read_read_is_not_a_conflict(self):
+        det = self.run_events(
+            lambda sim: sim.schedule_at(1.0, lambda: shake.note_read("o", "a")),
+            lambda sim: sim.schedule_at(1.0, lambda: shake.note_read("o", "a")),
+        )
+        assert det.conflict_count == 0
+
+    def test_distinct_keys_do_not_conflict(self):
+        det = self.run_events(
+            lambda sim: sim.schedule_at(1.0, lambda: shake.note_write("o", "a", 1)),
+            lambda sim: sim.schedule_at(1.0, lambda: shake.note_write("o", "a", 2)),
+        )
+        assert det.conflict_count == 0
+
+    def test_causal_chain_is_excused(self):
+        # Parent writes, then schedules a same-instant child that writes the
+        # same slot: ordered by construction, not a race.
+        def parent_builder(sim):
+            def child():
+                shake.note_write("o", "a")
+
+            def parent():
+                shake.note_write("o", "a")
+                sim.schedule_at(sim.now, child)
+
+            sim.schedule_at(1.0, parent)
+
+        det = self.run_events(parent_builder)
+        assert det.conflict_count == 0
+
+    def test_siblings_of_one_parent_still_conflict(self):
+        # A parent scheduling two same-instant children does not order the
+        # children against EACH OTHER.
+        def builder(sim):
+            def child():
+                shake.note_write("o", "a")
+
+            def parent():
+                sim.schedule_at(sim.now, child, label="c1")
+                sim.schedule_at(sim.now, child, label="c2")
+
+            sim.schedule_at(1.0, parent)
+
+        det = self.run_events(builder)
+        assert det.conflict_count == 1
+
+    def test_driver_context_accesses_never_conflict(self):
+        sim = Simulator()
+        detector = RaceDetector()
+        detector.install(sim)
+        try:
+            shake.note_write("o", "a")
+            shake.note_write("o", "a")
+        finally:
+            detector.uninstall(sim)
+        assert detector.conflict_count == 0
+
+    def test_uninstall_restores_the_global_switch(self):
+        sim = Simulator()
+        detector = RaceDetector()
+        detector.install(sim)
+        detector.uninstall(sim)
+        assert shake.DETECTOR is None
+        assert sim.probe is None
+
+
+class TestSchedulePerturbation:
+    def test_tiebreak_permutes_same_timestamp_events(self):
+        order = []
+        sim = Simulator(tiebreak=seeded_tiebreak(3))
+        for i in range(8):
+            sim.schedule_at(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert sorted(order) == list(range(8))
+        assert order != list(range(8))  # seed 3 permutes this batch
+
+    def test_tiebreak_never_reorders_distinct_timestamps(self):
+        order = []
+        sim = Simulator(tiebreak=seeded_tiebreak(3))
+        for i in range(6):
+            sim.schedule_at(float(i), lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(6))
+
+    def test_seeded_tiebreak_is_reproducible(self):
+        a, b = seeded_tiebreak(11), seeded_tiebreak(11)
+        assert [a() for _ in range(10)] == [b() for _ in range(10)]
+
+
+class TestFingerprints:
+    def test_first_divergence_none_on_identical(self):
+        fp = {"a": [1, 2], "b": {"c": "x"}}
+        assert first_divergence(fp, dict(fp)) is None
+
+    def test_first_divergence_reports_deep_path(self):
+        hit = first_divergence(
+            {"a": {"b": [1, 2, 3]}}, {"a": {"b": [1, 9, 3]}}
+        )
+        assert hit == {"path": "$.a.b[1]", "baseline": "2", "perturbed": "9"}
+
+    def test_first_divergence_reports_length_mismatch(self):
+        hit = first_divergence({"a": [1]}, {"a": [1, 2]})
+        assert hit["path"] == "$.a.length"
+
+    def test_digest_is_stable_and_order_insensitive(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert fingerprint_digest(a) == fingerprint_digest(b)
+
+
+def drive_zero_fault_run(tiebreak):
+    """A fault-free async run (positive latency, no FaultPlan)."""
+    from repro.data.synthetic import uniform_stream
+    from repro.data.workload import RandomWorkload
+    from repro.network.topology import Topology
+    from repro.replication.async_asr import AsyncSwatAsr
+
+    topo = Topology.complete_binary_tree(4)
+    sim = Simulator(tiebreak=tiebreak)
+    protocol = AsyncSwatAsr(
+        topo, 16, latency=0.05, sim=sim, retry_timeout=0.1, max_retries=2
+    )
+    stream = uniform_stream(22, seed=5)
+    for i in range(16):
+        protocol.on_data(float(stream[i]), now=float(i))
+    workload = RandomWorkload(
+        16, max_length=8, precision_low=2.0, precision_high=10.0, seed=5
+    )
+    clients = topo.clients
+    for q in range(6):
+        at = 16.0 + float(q)
+        protocol.on_data(float(stream[16 + q]), now=at)
+        protocol.on_query(clients[q % len(clients)], workload.next(), now=at)
+    protocol.on_phase_end()
+    return fingerprint_system(protocol)
+
+
+class TestRunShake:
+    def test_zero_fault_scenario_is_bit_identical_under_8_permutations(self):
+        baseline = drive_zero_fault_run(None)
+        for k in range(1, 9):
+            perturbed = drive_zero_fault_run(seeded_tiebreak(100 + k))
+            assert first_divergence(baseline, perturbed) is None, f"perm {k}"
+
+    def test_chaos_scenario_shakes_clean(self):
+        report = run_shake(seed=7, permutations=3, quick=True)
+        assert report["deterministic"] is True
+        assert report["divergences"] == []
+        assert report["conflict_count"] == 0
+
+    def test_report_digest_is_reproducible(self):
+        a = run_shake(seed=7, permutations=1, quick=True, detect_races=False)
+        b = run_shake(seed=7, permutations=1, quick=True, detect_races=False)
+        assert a["fingerprint_digest"] == b["fingerprint_digest"]
+
+    def test_rejects_nonpositive_permutations(self):
+        with pytest.raises(ValueError):
+            run_shake(permutations=0)
+
+
+class TestOrderingRegressions:
+    """Regression tests for the satellite fixes: keyed fault rolls in the
+    transport and hash-order-free iteration in the protocols."""
+
+    def test_keyed_rolls_are_pure_functions_of_the_key(self):
+        plan_a = FaultPlan(seed=9, drop_rate=0.5, duplicate_rate=0.5, jitter=0.1)
+        plan_b = FaultPlan(seed=9, drop_rate=0.5, duplicate_rate=0.5, jitter=0.1)
+        keys = [(i, 1, 0, 2) for i in range(16)]
+        rolls_a = [
+            (plan_a.roll_drop(key=k), plan_a.roll_duplicate(key=k),
+             plan_a.roll_jitter(key=k))
+            for k in keys
+        ]
+        # Different evaluation order, with legacy stream draws interleaved:
+        # keyed results must not shift.
+        rolls_b = []
+        for k in reversed(keys):
+            plan_b.roll_drop()
+            rolls_b.append(
+                (plan_b.roll_drop(key=k), plan_b.roll_duplicate(key=k),
+                 plan_b.roll_jitter(key=k))
+            )
+        assert rolls_a == list(reversed(rolls_b))
+
+    def test_hashseed_does_not_change_the_chaos_fingerprint(self):
+        # The full-stack regression for the sorted-iteration fixes: the same
+        # scenario digested under two PYTHONHASHSEED values (fresh processes,
+        # so set/dict hash order genuinely differs) must match.
+        script = (
+            "from repro.simulate.shake import run_shake\n"
+            "print(run_shake(seed=3, permutations=1, quick=True,"
+            " detect_races=False)['fingerprint_digest'])\n"
+        )
+        digests = []
+        for hashseed in ("0", "4242"):
+            env = dict(
+                os.environ,
+                PYTHONPATH=os.path.join(REPO, "src"),
+                PYTHONHASHSEED=hashseed,
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                cwd=REPO, capture_output=True, text=True, env=env,
+            )
+            assert proc.returncode == 0, proc.stderr
+            digests.append(proc.stdout.strip())
+        assert digests[0] == digests[1]
+
+
+class TestCli:
+    def test_repro_shake_subcommand(self, tmp_path):
+        out = tmp_path / "shake.json"
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "shake", "--quick",
+             "--seed", "7", "--permutations", "2", "--report-out", str(out)],
+            cwd=REPO, capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "divergences: none" in proc.stdout
+        report = json.loads(out.read_text())
+        assert report["deterministic"] is True
+        assert report["seed"] == 7 and report["permutations"] == 2
+
+    def test_repro_shake_rejects_bad_permutations(self):
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "shake", "--permutations", "0"],
+            cwd=REPO, capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 2
