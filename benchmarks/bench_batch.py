@@ -38,6 +38,9 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 if str(REPO / "src") not in sys.path:  # script invocation without PYTHONPATH
     sys.path.insert(0, str(REPO / "src"))
 
+from repro.core.engine import QueryEngine  # noqa: E402
+from repro.core.multi import StreamEnsemble  # noqa: E402
+from repro.core.queries import InnerProductQuery  # noqa: E402
 from repro.core.swat import Swat  # noqa: E402
 
 INGEST_BASELINE = REPO / "BENCH_ingest.json"
@@ -95,11 +98,14 @@ def measure_ingest(arrivals: int) -> Dict[str, float]:
 
 
 def measure_query(rounds: int) -> Dict[str, float]:
-    """Query throughput on a warm tree (reconstruction cache active)."""
+    """Query throughput on a warm tree: scalar path vs the plan-cached
+    :class:`QueryEngine` serving path (``estimates512_per_s`` is the serving
+    path — the number the ROADMAP's read-side trajectory tracks)."""
     rng = np.random.default_rng(11)
     tree = Swat(WINDOW, k=2)
     tree.extend(rng.normal(size=2 * WINDOW))
     indices = rng.integers(0, WINDOW, size=512)
+    engine = QueryEngine(tree)
 
     tree.reconstruct_window()  # populate the cache once
     t0 = time.perf_counter()
@@ -111,13 +117,96 @@ def measure_query(rounds: int) -> Dict[str, float]:
     t0 = time.perf_counter()
     for _ in range(rounds):
         tree.estimates(indices)
+    scalar_est_elapsed = time.perf_counter() - t0
+
+    if not np.array_equal(engine.estimates(indices), tree.estimates(indices)):
+        raise AssertionError("engine estimates diverged from scalar path")
+    est_rounds = rounds * 20  # the fast path needs more reps to time well
+    t0 = time.perf_counter()
+    for _ in range(est_rounds):
+        engine.estimates(indices)
     est_elapsed = time.perf_counter() - t0
+
+    # Batched inner products: 64 distinct query shapes, served together.
+    queries = []
+    for _ in range(64):
+        length = int(rng.integers(4, 33))
+        q_idx = rng.choice(WINDOW, size=length, replace=False)
+        queries.append(
+            InnerProductQuery(
+                tuple(int(i) for i in q_idx),
+                tuple(float(w) for w in rng.normal(size=length)),
+            )
+        )
+    scalar_answers = [tree.answer(q) for q in queries]
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for q in queries:
+            tree.answer(q)
+    scalar_ans_elapsed = time.perf_counter() - t0
+
+    batch_answers = engine.answer_batch(queries)
+    for got, want in zip(batch_answers, scalar_answers):
+        if got.value != want.value:
+            raise AssertionError("answer_batch diverged from scalar answer")
+    ans_rounds = rounds * 10
+    t0 = time.perf_counter()
+    for _ in range(ans_rounds):
+        engine.answer_batch(queries)
+    batch_ans_elapsed = time.perf_counter() - t0
+
+    hit_rate = engine.hit_rate
+    if hit_rate < 0.9:
+        raise AssertionError(
+            f"plan-cache hit rate {hit_rate:.2f} below 0.9 on a static tree"
+        )
 
     return {
         "rounds": float(rounds),
         "reconstruct_window_per_s": rounds / recon_elapsed,
-        "estimates512_per_s": rounds / est_elapsed,
+        "estimates512_per_s": est_rounds / est_elapsed,
+        "scalar_estimates512_per_s": rounds / scalar_est_elapsed,
+        "answer_batch_queries_per_s": ans_rounds * len(queries) / batch_ans_elapsed,
+        "scalar_answer_queries_per_s": rounds * len(queries) / scalar_ans_elapsed,
+        "plan_cache_hit_rate": hit_rate,
     }
+
+
+def measure_ensemble(rounds: int) -> Dict[str, float]:
+    """Sharded ensemble serving scaling (named ``_qps`` on purpose: thread
+    scaling is hardware-dependent, so these stay out of the >2x CI gate)."""
+    rng = np.random.default_rng(13)
+    streams = [f"s{i}" for i in range(8)]
+    queries = {}
+    ensembles = {}
+    for shards in (1, 4):
+        ens = StreamEnsemble(WINDOW, k=2, serve_shards=shards)
+        for name in streams:
+            ens.add_stream(name)
+            ens.tree(name).extend(rng.normal(size=2 * WINDOW))
+        ensembles[shards] = ens
+    for name in streams:
+        qs = []
+        for _ in range(32):
+            q_idx = rng.choice(WINDOW, size=16, replace=False)
+            qs.append(
+                InnerProductQuery(
+                    tuple(int(i) for i in q_idx),
+                    tuple(float(w) for w in rng.normal(size=16)),
+                )
+            )
+        queries[name] = qs
+    total = rounds * sum(len(v) for v in queries.values())
+    out: Dict[str, float] = {}
+    for shards, label in ((1, "ensemble_serial_qps"), (4, "ensemble_sharded_qps")):
+        ens = ensembles[shards]
+        ens.answer_batch(queries)  # warm plans + pool
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            ens.answer_batch(queries)
+        out[label] = total / (time.perf_counter() - t0)
+        ens.close()
+    return out
 
 
 def run_all(quick: bool) -> Tuple[Dict[str, float], Dict[str, float]]:
@@ -125,6 +214,7 @@ def run_all(quick: bool) -> Tuple[Dict[str, float], Dict[str, float]]:
     rounds = 10 if quick else 40
     ingest = measure_ingest(arrivals)
     query = measure_query(rounds)
+    query.update(measure_ensemble(2 if quick else 5))
     floor = MIN_SPEEDUP_QUICK if quick else MIN_SPEEDUP_FULL
     if ingest["speedup"] < floor:
         raise AssertionError(
@@ -180,6 +270,12 @@ def _format(ingest: Dict[str, float], query: Dict[str, float]) -> str:
         f"query   warm cache, {int(query['rounds'])} rounds\n"
         f"  reconstruct_window {query['reconstruct_window_per_s']:>12,.1f} calls/s\n"
         f"  estimates(512)     {query['estimates512_per_s']:>12,.1f} calls/s"
+        f"  (scalar {query['scalar_estimates512_per_s']:,.1f})\n"
+        f"  answer_batch       {query['answer_batch_queries_per_s']:>12,.1f} queries/s"
+        f"  (scalar {query['scalar_answer_queries_per_s']:,.1f})\n"
+        f"  plan-cache hits    {query['plan_cache_hit_rate']:>12.3f}\n"
+        f"  ensemble serving   {query['ensemble_sharded_qps']:>12,.1f} q/s sharded"
+        f"  ({query['ensemble_serial_qps']:,.1f} serial)"
     )
 
 

@@ -2,6 +2,7 @@
 
 from .continuous import ContinuousQueryEngine, Subscription
 from .coverage import Cover, CoverageError, build_cover
+from .engine import QueryEngine
 from .errors import (
     drift_segment_errors,
     exponential_level_bound,
@@ -12,6 +13,7 @@ from .errors import (
 from .growing import GrowingSwat
 from .multi import StreamEnsemble
 from .node import Role, SwatNode
+from .plan import PlanStep, QueryPlan, compile_plan, phase_of
 from .queries import (
     InnerProductQuery,
     RangeQuery,
@@ -27,6 +29,11 @@ __all__ = [
     "GrowingSwat",
     "ContinuousQueryEngine",
     "Subscription",
+    "QueryEngine",
+    "QueryPlan",
+    "PlanStep",
+    "compile_plan",
+    "phase_of",
     "StreamEnsemble",
     "SwatNode",
     "Role",

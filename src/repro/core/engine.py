@@ -1,0 +1,311 @@
+"""Query engine: plan-cached, batch-vectorized serving over one SWAT.
+
+The write side of the reproduction ingests ~13M arrivals/s through the
+batched cascade, but the scalar read path re-ran the greedy cover search,
+per-node index arithmetic, and a ``unique``/``searchsorted`` scatter on
+*every* query.  :class:`QueryEngine` amortizes all of that across queries:
+
+* **Compiled plans** (:mod:`repro.core.plan`): the cover structure for a
+  fixed index set repeats every ``2^{L-1}`` arrivals, so plans are compiled
+  once per ``(indices, phase)`` and revalidated with a handful of integer
+  comparisons.  A cache hit turns a query into pure NumPy gathers.
+* **Shared reconstructions**: gathers read ``SwatNode.reconstruct()``, whose
+  memo is keyed by the node's ``version`` counter — each touched node is
+  inverse-transformed at most once per refresh no matter how many queries
+  (or engines) touch it between ticks.
+* **Batched evaluation**: :meth:`answer_batch` groups queries by index set,
+  materializes each group's estimate vector once, and reduces every query's
+  inner product against that shared vector.  Reductions run in the exact
+  order of the scalar path (one ``np.dot(weights, est)`` per query over the
+  full vector), so batch answers are **bit-identical** to sequential
+  :meth:`Swat.answer` — enforced by ``tests/test_query_engine.py``.
+
+The fast path engages for Haar trees with dense first-``k`` selection and no
+deviation tracking; generic wavelets, largest-``k`` trees, deviation-tracked
+trees, and cold (not yet warm) trees fall back to the scalar path with
+identical results.  Engines are cheap (a dict of plans) — make one per
+serving thread or stream; :class:`~repro.core.multi.StreamEnsemble` shards
+them across a thread pool.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import causal as causal_mod
+from ..obs import metrics as obs
+from ..obs.causal import TraceContext
+from .plan import QueryPlan, compile_plan
+from .queries import InnerProductQuery
+from .swat import QueryAnswer, Swat
+
+__all__ = ["QueryEngine"]
+
+#: Default plan-cache capacity.  One plan for 512 indices is ~10 KB of
+#: int64 arrays; 512 plans bound the cache at a few MB even under hostile
+#: query diversity.
+DEFAULT_MAX_PLANS = 512
+
+
+class QueryEngine:
+    """Plan-cached query evaluation over one :class:`~repro.core.swat.Swat`.
+
+    Parameters
+    ----------
+    tree:
+        The summary to serve from.  The engine holds a reference, not a
+        copy: interleaving ``tree.extend`` with engine queries is the
+        intended usage, and plan/reconstruction invalidation keeps answers
+        bit-identical to the scalar path throughout.
+    max_plans:
+        Plan-cache capacity; least-recently-used plans are evicted beyond
+        it.
+    instrument:
+        When False the engine never touches the global metrics registry or
+        causal tracer.  Required when the engine is driven from a worker
+        thread (registry/tracer mutation is not thread-safe); the sharded
+        :class:`~repro.core.multi.StreamEnsemble` serving path creates its
+        engines this way and records per-shard metrics from the main thread
+        instead.  Local counters (``hits``/``misses``/``fallbacks``) still
+        update.
+
+    Attributes
+    ----------
+    hits / misses:
+        Plan-cache counters (mirrored into ``query.plan_cache.{hit,miss}``
+        when :mod:`repro.obs` is enabled).
+    fallbacks:
+        Queries answered by the scalar path (generic wavelets, cold trees).
+    """
+
+    def __init__(
+        self,
+        tree: Swat,
+        max_plans: int = DEFAULT_MAX_PLANS,
+        *,
+        instrument: bool = True,
+    ) -> None:
+        if max_plans < 1:
+            raise ValueError("max_plans must be >= 1")
+        self.tree = tree
+        self.max_plans = int(max_plans)
+        self.instrument = bool(instrument)
+        self._plans: "OrderedDict[Tuple[Hashable, int], QueryPlan]" = OrderedDict()
+        # Haar + dense first-k is the compiled kernel; deviation tracking
+        # needs the scalar path's certified-bound cover walk.
+        self._fast_ok = (
+            tree.wavelet in ("haar", "db1")
+            and tree.selection == "first"
+            and not tree.track_deviation
+        )
+        # Warmth is monotonic (nodes never unfill), so one successful check
+        # amortizes to an attribute read.
+        self._warm = False
+        self.hits = 0
+        self.misses = 0
+        self.fallbacks = 0
+        self.causal = causal_mod.current_causal() if self.instrument else None
+
+    # ------------------------------------------------------------- plan cache
+
+    @property
+    def plan_cache_size(self) -> int:
+        return len(self._plans)
+
+    @property
+    def hit_rate(self) -> float:
+        """Plan-cache hit fraction over the engine's lifetime (0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every compiled plan (they recompile on demand)."""
+        self._plans.clear()
+
+    def _plan_for(
+        self,
+        shape_key: Hashable,
+        indices: Sequence[int],
+        parent: Optional[TraceContext] = None,
+    ) -> Optional[QueryPlan]:
+        """Cached-or-compiled plan for ``indices``; None while the tree is
+        cold (the scalar path handles partially filled trees).
+
+        ``shape_key`` is any hashable that uniquely identifies the index
+        sequence — the tuple itself for queries, ``(dtype, bytes)`` for
+        integer ndarrays (tupling 512 numpy ints per call would dominate a
+        cache hit).
+        """
+        tree = self.tree
+        if not self._warm:
+            if not tree.is_warm:
+                return None
+            self._warm = True
+        key = (shape_key, tree.phase)
+        plan = self._plans.get(key)
+        if plan is not None and plan.matches(tree):
+            self._plans.move_to_end(key)
+            self.hits += 1
+            if self.instrument and obs.ENABLED:
+                obs.counter("query.plan_cache.hit").inc()
+            return plan
+        _t0 = (
+            time.perf_counter()
+            if (self.instrument and obs.ENABLED) or self.causal is not None
+            else None
+        )
+        plan = compile_plan(tree, indices)
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.max_plans:
+            self._plans.popitem(last=False)
+        self.misses += 1
+        if self.instrument and obs.ENABLED and _t0 is not None:
+            obs.counter("query.plan_cache.miss").inc()
+            obs.histogram("query.plan_compile.latency").observe(
+                time.perf_counter() - _t0
+            )
+        if self.causal is not None and _t0 is not None:
+            self.causal.start_span(
+                "engine.plan_compile", at=_t0, site="engine", parent=parent
+            ).finish(time.perf_counter(), indices=len(indices), phase=plan.phase)
+        return plan
+
+    # -------------------------------------------------------------- evaluation
+
+    def _evaluate(self, plan: QueryPlan) -> np.ndarray:
+        """Estimates for the plan's indices — pure gathers, no cover work."""
+        tree = self.tree
+        out = np.empty(len(plan.indices), dtype=np.float64)
+        if plan.raw_out.size:
+            d0 = tree.raw_leaf(0)
+            d1 = tree.raw_leaf(1) if tree.raw_leaf_count() > 1 else 0.0
+            out[plan.raw_out] = np.where(plan.raw_which == 0, d0, d1)
+        wavelet = tree.wavelet
+        for step in plan.steps:
+            signal = tree.node(step.level, step.role).reconstruct(wavelet)
+            out[step.out] = signal[step.positions]
+        return out
+
+    def estimates(self, indices: Sequence[int]) -> np.ndarray:
+        """Approximate values for window indices (plan-cached twin of
+        :meth:`Swat.estimates`; duplicates fan out like the scalar path)."""
+        if not self._fast_ok:
+            self.fallbacks += 1
+            return self.tree.estimates(indices)
+        key: Hashable
+        if isinstance(indices, np.ndarray) and indices.dtype.kind in "iu":
+            key = (indices.dtype.str, indices.tobytes())
+        else:
+            key = tuple(int(i) for i in indices)
+        plan = self._plan_for(key, indices)
+        if plan is None:
+            self.fallbacks += 1
+            return self.tree.estimates(indices)
+        return self._evaluate(plan)
+
+    def answer(self, query: InnerProductQuery) -> QueryAnswer:
+        """Plan-cached twin of :meth:`Swat.answer` — bit-identical answers."""
+        if not self._fast_ok:
+            self.fallbacks += 1
+            return self.tree.answer(query)
+        plan = self._plan_for(query.indices, query.indices)
+        if plan is None:
+            self.fallbacks += 1
+            return self.tree.answer(query)
+        est = self._evaluate(plan)
+        value = float(np.dot(np.asarray(query.weights, dtype=np.float64), est))
+        if self.instrument and obs.ENABLED:
+            obs.counter("swat.queries").inc()
+        return QueryAnswer(
+            value, est, plan.nodes_used(self.tree), plan.n_extrapolated, None
+        )
+
+    def answer_batch(
+        self, queries: Iterable[InnerProductQuery]
+    ) -> List[QueryAnswer]:
+        """Answer many queries, amortizing plans and reconstructions.
+
+        Queries are grouped by index set; each group's estimate vector is
+        materialized once and every member reduces its inner product against
+        it with the scalar path's own ``np.dot`` — answers are bit-identical
+        to calling :meth:`answer` (and :meth:`Swat.answer`) sequentially.
+        ``QueryAnswer.estimates`` arrays are shared within a group; copy
+        before mutating.
+        """
+        batch = list(queries)
+        _t0 = (
+            time.perf_counter()
+            if (self.instrument and obs.ENABLED) or self.causal is not None
+            else None
+        )
+        root = (
+            self.causal.start_span(
+                "engine.answer_batch", at=_t0, site="engine", queries=len(batch)
+            )
+            if self.causal is not None and _t0 is not None
+            else None
+        )
+        ctx = root.context if root is not None else None
+        if not self._fast_ok:
+            self.fallbacks += len(batch)
+            # Sanctioned scalar fallback: generic wavelets / largest-k /
+            # deviation tracking have no compiled kernel (REP011's exemption).
+            answers = [self.tree.answer(q) for q in batch]  # repro: ignore[REP011]
+            self._finish_batch(root, _t0, len(batch))
+            return answers
+        # Group by index set, preserving first-seen order; one plan + one
+        # estimate vector per group no matter how many weightings ride on it.
+        groups: "OrderedDict[Tuple[int, ...], List[int]]" = OrderedDict()
+        for qi, query in enumerate(batch):
+            groups.setdefault(query.indices, []).append(qi)
+        answers_out: List[Optional[QueryAnswer]] = [None] * len(batch)
+        _te = time.perf_counter() if self.causal is not None and _t0 is not None else None
+        for indices, members in groups.items():
+            plan = self._plan_for(indices, indices, parent=ctx)
+            if plan is None:
+                self.fallbacks += len(members)
+                for qi in members:
+                    answers_out[qi] = self.tree.answer(batch[qi])  # repro: ignore[REP011]
+                continue
+            est = self._evaluate(plan)
+            nodes = plan.nodes_used(self.tree)
+            for qi in members:
+                query = batch[qi]
+                value = float(
+                    np.dot(np.asarray(query.weights, dtype=np.float64), est)
+                )
+                answers_out[qi] = QueryAnswer(
+                    value, est, nodes, plan.n_extrapolated, None
+                )
+        if self.causal is not None and _te is not None:
+            self.causal.start_span(
+                "engine.evaluate", at=_te, site="engine", parent=ctx
+            ).finish(time.perf_counter(), groups=len(groups))
+        if self.instrument and obs.ENABLED:
+            obs.counter("swat.queries").inc(len(batch))
+        self._finish_batch(root, _t0, len(batch))
+        # Every slot is filled: each query index lands in exactly one group.
+        return [a for a in answers_out if a is not None]
+
+    def _finish_batch(
+        self,
+        root: Optional[causal_mod.Span],
+        t0: Optional[float],
+        size: int,
+    ) -> None:
+        if self.instrument and obs.ENABLED and t0 is not None:
+            obs.histogram("query.batch_size", buckets=obs.BATCH_BUCKETS).observe(size)
+            obs.histogram("query.batch.latency").observe(time.perf_counter() - t0)
+        if root is not None:
+            root.finish(time.perf_counter())
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryEngine(tree={self.tree!r}, plans={len(self._plans)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

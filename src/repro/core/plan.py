@@ -1,0 +1,223 @@
+"""Compiled query plans: reusable cover sets keyed by the tree's phase.
+
+For a *warm* :class:`~repro.core.swat.Swat` the cover set chosen by
+:func:`~repro.core.coverage.build_cover` is a pure function of the tree's
+**phase** — the arrival clock modulo ``2^{L-1}`` (the refresh period of the
+coarsest maintained level).  Level ``l``'s ``R`` node always ends at the most
+recent multiple of ``2^l``, so every node's window-relative segment, and
+therefore the ``(level, role)`` pairs the greedy scan picks for a fixed index
+set, repeats exactly every ``2^{L-1}`` arrivals.
+
+A :class:`QueryPlan` freezes that structure once: which output slots are
+served by the raw leaves ``d_0``/``d_1``, and for every cover node the
+positions to gather from its reconstructed segment plus the output slots they
+land in.  Evaluating a plan (see :class:`~repro.core.engine.QueryEngine`)
+skips the cover search, the per-node index arithmetic, and the
+``unique``/``searchsorted`` scatter of the scalar path — it is pure gathers
+from per-node reconstructions that are themselves memoized by
+:attr:`~repro.core.node.SwatNode.version`.
+
+Two layers of invalidation keep plans sound:
+
+* **structure** — :meth:`QueryPlan.matches` re-checks, per referenced node,
+  that the node is filled and sits at the window offset recorded at compile
+  time.  At a recurring phase of a warm tree this always holds; a reduced
+  tree mid-refresh or a restored checkpoint that disagrees recompiles.
+* **contents** — the plan never caches values.  Reconstructions come from
+  ``SwatNode.reconstruct()``, whose memo is keyed by the node's ``version``
+  counter (bumped on every ``set_contents``/``copy_from``), so a refresh
+  between two evaluations of the same plan is picked up automatically.
+
+Plans are compiled by replaying the scalar query path (:meth:`Swat.cover` +
+the ``_extract`` position arithmetic) — evaluation is bit-identical to
+:meth:`Swat.answer` by construction, which the Hypothesis suite in
+``tests/test_query_engine.py`` enforces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+import numpy as np
+
+from .node import SwatNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (Swat imports queries)
+    from .swat import Swat
+
+__all__ = ["PlanStep", "QueryPlan", "compile_plan", "phase_of"]
+
+
+def phase_of(tree: "Swat") -> int:
+    """The tree's plan phase: arrivals modulo the coarsest refresh period.
+
+    Level ``l`` refreshes every ``2^l`` arrivals, so ``now mod 2^l`` — the
+    window offset of every level-``l`` node — is determined by
+    ``now mod 2^{L-1}`` for all maintained levels ``l <= L-1``.
+    """
+    return tree.time & ((tree.window_size >> 1) - 1)
+
+
+class PlanStep:
+    """One cover node's share of a compiled plan.
+
+    ``(level, role)`` identify the node (roles shift but the *slot* a phase
+    picks is stable); ``offset`` is the window index of the node's newest
+    value at compile time (``now - end_time``), re-checked on reuse;
+    ``positions`` index the node's oldest-first reconstruction; ``out``
+    are the query-output slots those gathered values land in.
+    """
+
+    __slots__ = ("level", "role", "offset", "positions", "out")
+
+    def __init__(
+        self,
+        level: int,
+        role: str,
+        offset: int,
+        positions: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        self.level = level
+        self.role = role
+        self.offset = offset
+        self.positions = positions
+        self.out = out
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanStep({self.role}{self.level}, offset={self.offset}, "
+            f"n={self.positions.size})"
+        )
+
+
+class QueryPlan:
+    """A compiled cover for one index set at one tree phase.
+
+    Attributes
+    ----------
+    indices:
+        The window indices the plan answers, in query order (duplicates
+        allowed — each occurrence has its own output slot).
+    phase:
+        The tree phase (``time mod 2^{L-1}``) the structure was compiled at.
+    steps:
+        Per-node gather/scatter instructions, in cover scan order.
+    raw_out / raw_which:
+        Output slots served exactly from the raw leaves, and which leaf
+        (0 = ``d_0`` = newest, 1 = ``d_1``) serves each.
+    n_extrapolated:
+        How many indices a reduced-level tree answers by clamping (mirrors
+        :attr:`~repro.core.coverage.Cover.extrapolated`).
+    """
+
+    __slots__ = ("indices", "phase", "steps", "raw_out", "raw_which", "n_extrapolated")
+
+    def __init__(
+        self,
+        indices: Tuple[int, ...],
+        phase: int,
+        steps: Tuple[PlanStep, ...],
+        raw_out: np.ndarray,
+        raw_which: np.ndarray,
+        n_extrapolated: int,
+    ) -> None:
+        self.indices = indices
+        self.phase = phase
+        self.steps = steps
+        self.raw_out = raw_out
+        self.raw_which = raw_which
+        self.n_extrapolated = n_extrapolated
+
+    def matches(self, tree: "Swat") -> bool:
+        """Structure check: every referenced node is filled at the compiled
+        window offset.  Content freshness is *not* checked here — that is
+        the reconstruction memo's job (keyed by ``SwatNode.version``)."""
+        now = tree.time
+        for step in self.steps:
+            node = tree.node(step.level, step.role)
+            if node.coeffs is None or now - node.end_time != step.offset:
+                return False
+        return True
+
+    def nodes_used(self, tree: "Swat") -> List[SwatNode]:
+        """The live cover nodes, in scan order (for ``QueryAnswer`` diagnostics)."""
+        return [tree.node(step.level, step.role) for step in self.steps]
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryPlan(n_indices={len(self.indices)}, phase={self.phase}, "
+            f"steps={len(self.steps)})"
+        )
+
+
+def compile_plan(tree: "Swat", indices: Sequence[int]) -> QueryPlan:
+    """Compile the cover for ``indices`` against the tree's current phase.
+
+    Replays the scalar query decomposition exactly — raw-leaf short-circuit,
+    greedy cover, per-node position arithmetic, extrapolation clamping — so
+    evaluating the result gathers the very same floats ``Swat._estimate``
+    would produce.
+    """
+    idx = np.asarray(list(indices), dtype=np.int64).reshape(-1)
+    bad_mask = (idx < 0) | (idx >= tree.size)
+    if bool(bad_mask.any()):
+        bad = [int(i) for i in idx[bad_mask]]
+        raise IndexError(
+            f"window indices {bad} out of range [0, {tree.size - 1}] "
+            f"(stream has seen {tree.time} values)"
+        )
+    now = tree.time
+    slots = np.arange(idx.size, dtype=np.int64)
+    n_raw = tree.raw_leaf_count()
+    raw_mask = idx < n_raw
+    raw_out = slots[raw_mask]
+    raw_which = idx[raw_mask]
+    steps: List[PlanStep] = []
+    n_extrapolated = 0
+    rest_mask = ~raw_mask
+    if bool(rest_mask.any()):
+        remaining = idx[rest_mask]
+        remaining_slots = slots[rest_mask]
+        cover = tree.cover([int(i) for i in remaining])
+        extrapolated = (
+            np.asarray(cover.extrapolated, dtype=np.int64)
+            if cover.extrapolated
+            else None
+        )
+        # Window index -> output slots; duplicates fan out to every slot.
+        for node, assigned in cover.assignments.items():
+            a_idx = np.asarray(assigned, dtype=np.int64)
+            lo, _hi = node.relative_segment(now)
+            pos = node.segment_length - 1 - (a_idx - lo)
+            if extrapolated is not None:
+                ex = np.isin(a_idx, extrapolated)
+                pos = np.where(
+                    ex, np.where(a_idx < lo, node.segment_length - 1, 0), pos
+                )
+            # The cover assigned *unique* indices; expand to every occurrence
+            # in the query's index list so evaluation is one gather+scatter.
+            occ_pos: List[int] = []
+            occ_out: List[int] = []
+            for j, i in enumerate(a_idx):
+                hits = remaining_slots[remaining == i]
+                occ_out.extend(int(s) for s in hits)
+                occ_pos.extend([int(pos[j])] * hits.size)
+            steps.append(
+                PlanStep(
+                    node.level,
+                    node.role,
+                    now - node.end_time,
+                    np.asarray(occ_pos, dtype=np.int64),
+                    np.asarray(occ_out, dtype=np.int64),
+                )
+            )
+        n_extrapolated = len(cover.extrapolated)
+    return QueryPlan(
+        tuple(int(i) for i in idx),
+        phase_of(tree),
+        tuple(steps),
+        raw_out,
+        raw_which,
+        n_extrapolated,
+    )

@@ -212,6 +212,26 @@ class Swat:
         return sum(len(lv) for lv in self._levels[self.min_level :])
 
     @property
+    def phase(self) -> int:
+        """Arrival clock modulo the coarsest refresh period (``2^{L-1}``).
+
+        For a warm tree every node's window-relative segment — and hence the
+        cover structure of any fixed index set — is a pure function of this
+        phase; compiled query plans (:mod:`repro.core.plan`) are keyed by it.
+        """
+        return self._time & ((self.window_size >> 1) - 1)
+
+    def raw_leaf_count(self) -> int:
+        """Window indices servable exactly from the raw leaves ``d_0``/``d_1``."""
+        if not self.use_raw_leaves:
+            return 0
+        return min(len(self._buffer), 2, self.size)
+
+    def raw_leaf(self, which: int) -> float:
+        """The raw leaf at window index ``which`` (0 = newest)."""
+        return self._buffer[-1 - which]
+
+    @property
     def memory_coefficients(self) -> int:
         """Stored coefficients across maintained, filled nodes (space metric)."""
         return sum(

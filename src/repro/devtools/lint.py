@@ -45,6 +45,13 @@ REP009    no order-sensitive dict/set iteration in handler-reachable code
 REP010    no ambient-state calls (module-level RNG, wall clock, uuid4,
           os.urandom) reachable from an event handler, one call level
           deep — interprocedural extension of REP001/REP002
+REP011    no per-query Python loops feeding ``<swat-like>.answer`` /
+          ``.estimates`` / ``.cover`` or ``build_cover(...)`` in library
+          serving paths (``core/``, ``replication/``, ``histogram/``,
+          ``sketches/``, ``network/``) — route repeated reads through
+          ``QueryEngine.answer_batch``, which compiles the cover once per
+          (shape, phase) and stays bit-identical (read-side mirror of
+          REP006; sanctioned scalar fallbacks carry a suppression)
 ========  ==================================================================
 
 REP008-REP010 are the static prong of the determinism sanitizer; their
@@ -401,6 +408,65 @@ def _check_rep006(tree: ast.Module, path: str) -> Iterator[Finding]:
             )
 
 
+# ------------------------------------------------------------------- REP011
+
+#: Read-side twins of REP006's ``update``: methods whose per-item loop has a
+#: plan-cached batch equivalent on :class:`repro.core.engine.QueryEngine`.
+_SERVE_METHODS = frozenset({"answer", "answer_range", "estimates", "cover"})
+
+
+def _check_rep011(tree: ast.Module, path: str) -> Iterator[Finding]:
+    seen: set = set()
+    for node in ast.walk(tree):
+        loop_names = _loop_target_names(node)
+        if not loop_names:
+            continue
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Call):
+                continue
+            chain = _dotted_chain(inner.func)
+            if not chain:
+                continue
+            if chain[-1] == "build_cover":
+                verb = "build_cover()"
+                hint = (
+                    "compile the cover once per (shape, phase) with "
+                    "repro.core.plan.compile_plan and reuse it"
+                )
+            elif (
+                len(chain) >= 2
+                and chain[-1] in _SERVE_METHODS
+                and _BATCH_RECEIVER_RE.search(chain[-2])
+            ):
+                # ``self.<method>`` is deliberately not matched: inside the
+                # summary that loop usually *is* the batched implementation.
+                verb = f"{'.'.join(chain)}()"
+                hint = (
+                    "serve the whole batch through QueryEngine.answer_batch "
+                    "— plans amortize the cover search and answers are "
+                    "bit-identical"
+                )
+            else:
+                continue
+            arg_names = {
+                n.id
+                for arg in list(inner.args) + [kw.value for kw in inner.keywords]
+                for n in ast.walk(arg)
+                if isinstance(n, ast.Name)
+            }
+            if not (arg_names & loop_names):
+                continue
+            key = (inner.lineno, inner.col_offset)
+            if key in seen:
+                continue  # nested loops would re-report the same call
+            seen.add(key)
+            yield Finding(
+                path, inner.lineno, inner.col_offset, "REP011",
+                f"per-query Python loop feeding {verb} in a serving path; "
+                + hint,
+            )
+
+
 # ------------------------------------------------------------------- REP007
 
 #: Catch-all exception types: catching one of these without re-raising turns
@@ -544,6 +610,12 @@ RULES: Tuple[Rule, ...] = (
         "no ambient-state calls reachable from event handlers",
         ("simulate", "network", "replication"),
         check_rep010,
+    ),
+    Rule(
+        "REP011",
+        "no per-query answer/cover loops where a plan-cached batch would do",
+        ("core", "replication", "histogram", "sketches", "network"),
+        _check_rep011,
     ),
 )
 

@@ -10,12 +10,19 @@ range approximation, and the subscription list of children holding a replica.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..wavelets.transform import is_power_of_two
 
-__all__ = ["Segment", "window_segments", "DirectoryRow", "Directory"]
+__all__ = [
+    "Segment",
+    "window_segments",
+    "DirectoryRow",
+    "Directory",
+    "SegmentPlanCache",
+]
 
 
 @dataclass(frozen=True)
@@ -122,6 +129,10 @@ class Directory:
         self.rows: Dict[Segment, DirectoryRow] = {
             seg: DirectoryRow(seg) for seg in window_segments(window_size)
         }
+        # Row order mirrors the dyadic partition: row i covers
+        # [2^i, 2^{i+1}-1] for i >= 1 and rows 0/1 split [0, 3] — so the row
+        # holding index j is just bit_length(j) - 1 (clamped at 0).
+        self._segment_list: List[Segment] = list(self.rows)
 
     @property
     def segments(self) -> List[Segment]:
@@ -131,11 +142,12 @@ class Directory:
         return self.rows[segment]
 
     def segment_of(self, index: int) -> Segment:
-        """The directory segment containing window index ``index``."""
-        for seg in self.rows:
-            if index in seg:
-                return seg
-        raise IndexError(f"window index {index} outside [0, {self.window_size - 1}]")
+        """The directory segment containing window index ``index`` (O(1))."""
+        if not 0 <= index < self.window_size:
+            raise IndexError(
+                f"window index {index} outside [0, {self.window_size - 1}]"
+            )
+        return self._segment_list[max(int(index).bit_length() - 1, 0)]
 
     def cached_count(self) -> int:
         """Number of cached approximations at this site (space metric, §5.1)."""
@@ -144,3 +156,47 @@ class Directory:
     def __repr__(self) -> str:
         cached = ", ".join(str(s) for s, r in self.rows.items() if r.is_cached)
         return f"Directory(N={self.window_size}, cached=[{cached}])"
+
+
+class SegmentPlanCache:
+    """Memoized index→segment grouping for recurring query shapes.
+
+    The replication protocols split every query's window indices by
+    directory segment before consulting caches or forwarding upstream.
+    Serving workloads re-issue the same index sets (continuous queries,
+    degraded answers, retries), so the grouping — a pure function of the
+    index tuple for a fixed window size — is worth caching.  Entries are
+    LRU-evicted past ``max_plans``.
+
+    Callers must treat returned groupings as read-only (they are shared
+    between hits); every call site in :mod:`repro.replication` only
+    iterates.
+    """
+
+    def __init__(self, directory: Directory, max_plans: int = 256) -> None:
+        if max_plans < 1:
+            raise ValueError("max_plans must be >= 1")
+        self.directory = directory
+        self.max_plans = int(max_plans)
+        self.hits = 0
+        self.misses = 0
+        self._groups: "OrderedDict[Tuple[int, ...], Dict[Segment, List[int]]]" = (
+            OrderedDict()
+        )
+
+    def group(self, indices: Sequence[int]) -> Mapping[Segment, Sequence[int]]:
+        """Indices grouped by their directory segment, in first-seen order."""
+        key = tuple(indices)
+        cached = self._groups.get(key)
+        if cached is not None:
+            self._groups.move_to_end(key)
+            self.hits += 1
+            return cached
+        out: Dict[Segment, List[int]] = {}
+        for idx in key:
+            out.setdefault(self.directory.segment_of(idx), []).append(idx)
+        self._groups[key] = out
+        while len(self._groups) > self.max_plans:
+            self._groups.popitem(last=False)
+        self.misses += 1
+        return out

@@ -32,6 +32,7 @@ __all__ = [
     "MetricsRegistry",
     "LATENCY_BUCKETS",
     "COUNT_BUCKETS",
+    "BATCH_BUCKETS",
     "ENABLED",
     "escape_label_value",
     "unescape_label_value",
@@ -57,6 +58,12 @@ LATENCY_BUCKETS: Tuple[float, ...] = (
 # Default bucket upper bounds for small cardinalities (cover-set sizes,
 # hop counts, queue depths).
 COUNT_BUCKETS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+# Default bucket upper bounds for batch sizes (query-engine batches, ingest
+# blocks): power-of-two edges out to the largest windows the benches drive.
+BATCH_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+)
 
 Labels = Tuple[Tuple[str, str], ...]
 

@@ -22,13 +22,13 @@ one descends the tree, exactly as in the Section 3 walk-through.
 from __future__ import annotations
 
 import logging
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .. import contracts
 from ..core.coverage import CoverageError
 from ..core.queries import InnerProductQuery
 from ..core.swat import Swat
-from ..network.directory import Directory, DirectoryRow, Segment
+from ..network.directory import Directory, DirectoryRow, Segment, SegmentPlanCache
 from ..network.messages import MessageKind
 from ..network.topology import Topology
 from ..obs import causal as causal_mod
@@ -75,6 +75,9 @@ class SwatAsr(ReplicationProtocol):
             node: Directory(window_size) for node in topology.nodes
         }
         self._segments = self.sites[topology.root].segments
+        # Segments are identical across sites (same window size), so one
+        # grouping cache serves every site's query decomposition.
+        self._segment_plans = SegmentPlanCache(self.sites[topology.root])
         self.use_summary_ranges = bool(use_summary_ranges)
         self._check_invariants = contracts.resolve_check_flag(check_invariants)
         self._summary = Swat(
@@ -195,10 +198,7 @@ class SwatAsr(ReplicationProtocol):
             raise KeyError(f"unknown site {client!r}")
         if not self.is_warm:
             raise RuntimeError("stream window not yet full; warm up before querying")
-        directory = self.sites[client]
-        by_segment: Dict[Segment, List[int]] = {}
-        for idx in query.indices:
-            by_segment.setdefault(directory.segment_of(idx), []).append(idx)
+        by_segment = self._segment_plans.group(query.indices)
         weights = dict(zip(query.indices, query.weights))
         before = self.stats.count(MessageKind.QUERY)
         root_span: Optional[Span] = None
@@ -222,7 +222,7 @@ class SwatAsr(ReplicationProtocol):
         self,
         node: str,
         query: InnerProductQuery,
-        by_segment: Dict[Segment, List[int]],
+        by_segment: Mapping[Segment, Sequence[int]],
         weights: Dict[int, float],
         from_child: Optional[str],
         at: float = 0.0,

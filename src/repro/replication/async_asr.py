@@ -48,12 +48,23 @@ about the degraded state: unsynced pairs and crashed sites are excused
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple, cast
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    cast,
+)
 
 from .. import contracts
 from ..core.queries import InnerProductQuery
 from ..metrics.error import GroundTruthWindow
-from ..network.directory import Directory, DirectoryRow, Segment
+from ..network.directory import Directory, DirectoryRow, Segment, SegmentPlanCache
 from ..network.faults import FaultPlan
 from ..network.messages import MessageKind, MessageStats
 from ..network.topology import Topology
@@ -547,6 +558,8 @@ class AsyncSwatAsr:
         for node, site in self.sites.items():
             self.transport.register(node, site.handle)
         self._segments = self.sites[topology.root].directory.segments
+        # One grouping cache for all sites: segments depend only on N.
+        self._segment_plans = SegmentPlanCache(self.sites[topology.root].directory)
         self.query_latencies: List[float] = []
         self.query_outcomes: List[QueryOutcome] = []
         self.last_query_hops = 0
@@ -564,12 +577,14 @@ class AsyncSwatAsr:
     def is_warm(self) -> bool:
         return len(self.window) >= self.window_size
 
-    def group_by_segment(self, query: InnerProductQuery) -> Dict[Segment, List[int]]:
-        root_dir = self.sites[self.topology.root].directory
-        out: Dict[Segment, List[int]] = {}
-        for idx in query.indices:
-            out.setdefault(root_dir.segment_of(idx), []).append(idx)
-        return out
+    def group_by_segment(
+        self, query: InnerProductQuery
+    ) -> Mapping[Segment, Sequence[int]]:
+        """Query indices grouped by directory segment (cached per shape).
+
+        The grouping is shared between calls — treat it as read-only.
+        """
+        return self._segment_plans.group(query.indices)
 
     def _on_response_lost(self, env: Envelope) -> None:
         if obs.ENABLED:

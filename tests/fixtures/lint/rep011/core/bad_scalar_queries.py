@@ -1,0 +1,26 @@
+"""REP011 bad fixture: per-query serving loops where a batch would do."""
+
+
+def serve(tree, queries):
+    return [tree.answer(q) for q in queries]  # REP011
+
+
+def serve_attr(self, queries):
+    out = []
+    for query in queries:
+        out.append(self.swat.answer(query))  # REP011
+    return out
+
+
+def covers(tree, index_sets):
+    for indices in index_sets:
+        tree.cover(indices)  # REP011
+
+
+def raw_cover_search(nodes, index_sets, now):
+    for indices in index_sets:
+        build_cover(nodes, indices, now)  # REP011
+
+
+def point_reads(tree, probes):
+    return [tree.estimates([i]) for i in probes]  # REP011

@@ -1,0 +1,29 @@
+"""REP011 good fixture: batched serving and legitimate scalar loops."""
+
+
+def serve(engine, queries):
+    return engine.answer_batch(queries)  # the plan-cached batch path
+
+
+def scalar_fallback(self, queries):
+    # `self.answer` is how the batched path's own scalar fallback is
+    # written; the receiver heuristic leaves it alone.
+    return [self.answer(q) for q in queries]
+
+
+def unrelated_receiver(oracle, queries):
+    for q in queries:
+        oracle.answer(q)  # not a summary; e.g. a test's ground-truth oracle
+
+
+def answer_outside_loop(tree, query):
+    return tree.answer(query)
+
+
+def loop_variable_not_queried(tree, queries, fixed_query):
+    return [tree.answer(fixed_query) for _ in queries]
+
+
+def sanctioned_fallback(tree, queries):
+    # Generic wavelets have no compiled kernel; suppression is the contract.
+    return [tree.answer(q) for q in queries]  # repro: ignore[REP011]

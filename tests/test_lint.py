@@ -38,6 +38,7 @@ class TestRuleFixtures:
             ("REP008", fixture("rep008", "replication", "bad_race.py"), 2),
             ("REP009", fixture("rep009", "replication", "bad_iteration.py"), 3),
             ("REP010", fixture("rep010", "network", "bad_ambient.py"), 3),
+            ("REP011", fixture("rep011", "core", "bad_scalar_queries.py"), 5),
         ],
     )
     def test_rule_fires_on_bad_fixture(self, rule, bad, expected_count):
@@ -57,6 +58,7 @@ class TestRuleFixtures:
             fixture("rep008", "replication", "good_keyed.py"),
             fixture("rep009", "replication", "good_sorted.py"),
             fixture("rep010", "network", "good_seeded.py"),
+            fixture("rep011", "core", "good_batched_queries.py"),
         ],
     )
     def test_rule_quiet_on_good_fixture(self, good):
@@ -136,6 +138,28 @@ class TestRuleSemantics:
         assert check_source(fallback, "pkg/core/swat.py") == []
         const = "def f(tree, vs, c):\n    for v in vs:\n        tree.update(c)\n"
         assert check_source(const, "pkg/core/swat.py") == []
+
+    def test_rep011_scoped_to_library_dirs(self):
+        src = "def f(tree, qs):\n    for q in qs:\n        tree.answer(q)\n"
+        # experiments/ times per-query latency on purpose (Figure 6b).
+        assert check_source(src, "pkg/experiments/latency.py") == []
+        scoped = check_source(src, "pkg/core/driver.py")
+        assert [f.code for f in scoped] == ["REP011"]
+
+    def test_rep011_ignores_self_receiver_and_non_loop_args(self):
+        fallback = "def f(self, qs):\n    for q in qs:\n        self.answer(q)\n"
+        assert check_source(fallback, "pkg/core/engine.py") == []
+        const = "def f(tree, qs, q0):\n    for q in qs:\n        tree.answer(q0)\n"
+        assert check_source(const, "pkg/core/engine.py") == []
+
+    def test_rep011_flags_bare_build_cover_loops(self):
+        src = (
+            "def f(nodes, sets, now):\n"
+            "    for s in sets:\n"
+            "        build_cover(nodes, s, now)\n"
+        )
+        codes = [f.code for f in check_source(src, "pkg/core/driver.py")]
+        assert codes == ["REP011"]
 
     def test_rep007_allows_broad_catch_that_reraises(self):
         src = (
@@ -270,7 +294,7 @@ class TestDriver:
         codes = {f.code for f in findings}
         assert codes == {
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
-            "REP008", "REP009", "REP010",
+            "REP008", "REP009", "REP010", "REP011",
         }
 
     def test_lint_paths_missing_target_raises(self):
@@ -283,7 +307,7 @@ class TestDriver:
     def test_rule_registry_is_complete(self):
         assert [r.code for r in RULES] == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
-            "REP008", "REP009", "REP010",
+            "REP008", "REP009", "REP010", "REP011",
         ]
 
 
@@ -320,7 +344,7 @@ class TestEntryPoints:
         assert proc.returncode == 0
         codes = (
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
-            "REP008", "REP009", "REP010",
+            "REP008", "REP009", "REP010", "REP011",
         )
         for code in codes:
             assert code in proc.stdout
