@@ -14,6 +14,9 @@ Usage::
     python -m repro check src             # repo-specific AST lint (REP001-010)
     python -m repro shake --seed 7 --permutations 8  # schedule-perturbation
                                           # determinism check (+ race detector)
+    python -m repro recovery --quick      # warm vs cold crash recovery
+    python -m repro snapshot s.ckpt       # checkpoint a seeded summary + WAL
+    python -m repro restore s.ckpt        # load + replay; exit 1 on corruption
 
 ``stats`` (and ``--metrics-out`` on any experiment) turns on
 :mod:`repro.obs` before the run; ``-v`` installs a stderr log handler on the
@@ -61,6 +64,7 @@ from .experiments import (
     format_table,
     space_complexity,
     trace_chaos_demo,
+    warm_recovery_demo,
 )
 from .obs.causal import CausalTracer, enable_causal, format_critical_path
 from .obs.chrome import write_chrome
@@ -170,6 +174,14 @@ def _chaos(quick: bool) -> str:
     )
 
 
+def _recovery(quick: bool) -> str:
+    n = 110 if quick else 140
+    return format_table(
+        warm_recovery_demo(n_arrivals=n),
+        "Recovery: degraded answers after a crash, warm restore vs cold resync",
+    )
+
+
 def _tracedemo(quick: bool) -> str:
     from .obs import causal as causal_mod
 
@@ -194,6 +206,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig10b": _fig10b,
     "space": _space,
     "chaos": _chaos,
+    "recovery": _recovery,
     "tracedemo": _tracedemo,
 }
 
@@ -212,6 +225,11 @@ _FAULT_COUNTER_PREFIXES = (
     "asr.late_responses",
     "asr.unsynced_marks",
     "asr.resyncs",
+    "checkpoint.torn_writes",
+    "checkpoint.load.corrupt",
+    "checkpoint.load.missing",
+    "checkpoint.warm_restores",
+    "wal.torn_records",
 )
 
 
@@ -234,6 +252,122 @@ def _render_fault_section(snapshot: dict) -> str:
     for key in sorted(hits):
         lines.append(f"  {key:<{width}}  {hits[key]:g}")
     return "\n".join(lines)
+
+
+#: Stream/window shape of the ``snapshot``/``restore`` demo pair.  Both
+#: sides derive everything from the checkpoint metadata, so these are only
+#: the writer's defaults.
+_SNAPSHOT_WINDOW = 256
+_SNAPSHOT_TAIL = 64
+
+
+def _run_snapshot(path: str, seed: int, quick: bool) -> int:
+    """``repro snapshot FILE``: checkpoint a seeded summary mid-stream.
+
+    Builds a :class:`~repro.core.swat.Swat` tree plus
+    :class:`~repro.histogram.prefix.PrefixStats` over a seeded synthetic
+    stream, checkpoints both ``_SNAPSHOT_TAIL`` arrivals before the end,
+    write-ahead-logs the tail to ``FILE.wal``, and finishes the stream
+    in-process.  The final probe-query answer is stored in the checkpoint
+    metadata so ``repro restore`` can verify bit-identical recovery.
+    """
+    from .core.engine import QueryEngine
+    from .core.queries import exponential_query
+    from .core.swat import Swat
+    from .data.synthetic import uniform_stream
+    from .histogram.prefix import PrefixStats
+    from .persist import WriteAheadLog, pack_swat_state, write_checkpoint
+
+    n_points = 1024 if quick else 4096
+    stream = uniform_stream(n_points, seed=seed)
+    tree = Swat(_SNAPSHOT_WINDOW, k=1, wavelet="haar")
+    prefix = PrefixStats(_SNAPSHOT_WINDOW)
+    cut = n_points - _SNAPSHOT_TAIL
+    for value in stream[:cut]:
+        tree.update(float(value))
+        prefix.update(float(value))
+    # State is captured at the cut (to_state snapshots are copies); the tail
+    # is write-ahead-logged and also applied live, so the stored probe
+    # answer is the uninterrupted run's.
+    state = {
+        "swat": pack_swat_state(tree.to_state()),
+        "prefix": prefix.to_state(),
+    }
+    wal = WriteAheadLog(path + ".wal")
+    wal.reset()
+    for value in stream[cut:]:
+        wal.append(float(value))
+        tree.update(float(value))
+        prefix.update(float(value))
+    probe = exponential_query(_SNAPSHOT_TAIL)
+    probe_value = float(QueryEngine(tree).answer(probe).value)
+    written = write_checkpoint(
+        path,
+        "swat",
+        state,
+        {
+            "seed": seed,
+            "n_points": n_points,
+            "window_size": _SNAPSHOT_WINDOW,
+            "probe_length": _SNAPSHOT_TAIL,
+            "probe_value": probe_value,
+        },
+    )
+    print(
+        f"checkpoint written to {path} ({written} bytes), "
+        f"{len(wal)} tail arrivals in {wal.path}"
+    )
+    print(f"probe answer at stream end: {probe_value!r}")
+    return 0
+
+
+def _run_restore(path: str) -> int:
+    """``repro restore FILE``: load + replay, verify against the metadata.
+
+    Exits 1 on a missing/corrupt checkpoint or a probe-answer mismatch —
+    the shell-level version of the warm-restore fallback decision.
+    """
+    from .core.engine import QueryEngine
+    from .core.queries import exponential_query
+    from .core.swat import Swat
+    from .histogram.prefix import PrefixStats
+    from .persist import CheckpointCorruptError, WriteAheadLog, load_checkpoint
+
+    try:
+        state, meta = load_checkpoint(path, "swat")
+    except FileNotFoundError:
+        print(f"no checkpoint at {path}", file=sys.stderr)
+        return 1
+    except CheckpointCorruptError as exc:
+        print(f"refusing to restore: {exc}", file=sys.stderr)
+        return 1
+    try:
+        tree = Swat.from_state(state["swat"])
+        prefix = PrefixStats.from_state(state["prefix"])
+    except (KeyError, ValueError) as exc:
+        print(f"refusing to restore: {exc}", file=sys.stderr)
+        return 1
+    records, torn = WriteAheadLog(path + ".wal").replay()
+    for value in records:
+        tree.update(float(value))
+        prefix.update(float(value))
+    probe = exponential_query(int(meta.get("probe_length", _SNAPSHOT_TAIL)))
+    value = float(QueryEngine(tree).answer(probe).value)
+    expected = meta.get("probe_value")
+    print(
+        f"restored {path}: window={tree.window_size} time={tree._time} "
+        f"replayed={len(records)} torn={torn}"
+    )
+    print(f"probe answer after replay: {value!r}")
+    if expected is not None:
+        if value == float(expected):
+            print("bit-identical to the uninterrupted run")
+        else:
+            print(
+                f"MISMATCH: expected {float(expected)!r}", file=sys.stderr
+            )
+            return 1
+    return 0
 
 
 def _install_verbose_logging(verbosity: int) -> None:
@@ -298,8 +432,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="experiment id (see 'list'), 'all', 'report', 'list', "
         "'stats <experiment>' for a run followed by a metrics report, "
         "'trace <experiment>' for a run with causal tracing and a trace "
-        "summary, 'check [paths...]' for the repo-specific AST linter, or "
-        "'shake' for the schedule-perturbation determinism check",
+        "summary, 'check [paths...]' for the repo-specific AST linter, "
+        "'shake' for the schedule-perturbation determinism check, or "
+        "'snapshot FILE' / 'restore FILE' for durable checkpoint round-trips",
     )
     parser.add_argument(
         "target",
@@ -386,12 +521,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         # (reported as dropped) instead of growing without bound.
         tracer = enable_causal(max_spans=250_000)
 
-    if args.target and args.experiment not in ("stats", "check", "trace"):
+    if args.target and args.experiment not in (
+        "stats",
+        "check",
+        "trace",
+        "snapshot",
+        "restore",
+    ):
         print(
-            "extra arguments are only valid with 'stats', 'trace', or 'check'",
+            "extra arguments are only valid with 'stats', 'trace', 'check', "
+            "'snapshot', or 'restore'",
             file=sys.stderr,
         )
         return 2
+
+    if args.experiment in ("snapshot", "restore"):
+        if len(args.target) != 1:
+            print(
+                f"usage: repro {args.experiment} <checkpoint-file>",
+                file=sys.stderr,
+            )
+            return 2
+        if args.experiment == "snapshot":
+            return _run_snapshot(args.target[0], args.seed, args.quick)
+        return _run_restore(args.target[0])
 
     if args.experiment == "check":
         from .devtools.lint import main as lint_main

@@ -95,16 +95,15 @@ class QueryEngine:
         self.max_plans = int(max_plans)
         self.instrument = bool(instrument)
         self._plans: "OrderedDict[Tuple[Hashable, int], QueryPlan]" = OrderedDict()
-        # Haar + dense first-k is the compiled kernel; deviation tracking
-        # needs the scalar path's certified-bound cover walk.
-        self._fast_ok = (
-            tree.wavelet in ("haar", "db1")
-            and tree.selection == "first"
-            and not tree.track_deviation
-        )
+        self._fast_ok = self._fast_path_ok(tree)
         # Warmth is monotonic (nodes never unfill), so one successful check
         # amortizes to an attribute read.
         self._warm = False
+        # Identity + epoch of the tree the caches were built against; a
+        # restore (epoch bump) or a tree swap restarts node version counters,
+        # so every plan and the warmth gate must be dropped (see _sync_tree).
+        self._seen_tree: Swat = tree
+        self._seen_epoch: int = tree.epoch
         self.hits = 0
         self.misses = 0
         self.fallbacks = 0
@@ -125,6 +124,33 @@ class QueryEngine:
     def clear(self) -> None:
         """Drop every compiled plan (they recompile on demand)."""
         self._plans.clear()
+
+    @staticmethod
+    def _fast_path_ok(tree: Swat) -> bool:
+        # Haar + dense first-k is the compiled kernel; deviation tracking
+        # needs the scalar path's certified-bound cover walk.
+        return (
+            tree.wavelet in ("haar", "db1")
+            and tree.selection == "first"
+            and not tree.track_deviation
+        )
+
+    def _sync_tree(self) -> None:
+        """Invalidate everything if the tree was restored or swapped.
+
+        ``Swat.restore_state`` bumps :attr:`Swat.epoch` in place; assigning a
+        new tree to :attr:`tree` changes identity.  Either way the new nodes
+        restart their version counters, so plans compiled pre-restore (and
+        the monotonic warmth gate — the restored tree may be cold) would
+        serve stale data if kept.
+        """
+        tree = self.tree
+        if tree is not self._seen_tree or tree.epoch != self._seen_epoch:
+            self._seen_tree = tree
+            self._seen_epoch = tree.epoch
+            self._plans.clear()
+            self._warm = False
+            self._fast_ok = self._fast_path_ok(tree)
 
     def _plan_for(
         self,
@@ -194,6 +220,7 @@ class QueryEngine:
     def estimates(self, indices: Sequence[int]) -> np.ndarray:
         """Approximate values for window indices (plan-cached twin of
         :meth:`Swat.estimates`; duplicates fan out like the scalar path)."""
+        self._sync_tree()
         if not self._fast_ok:
             self.fallbacks += 1
             return self.tree.estimates(indices)
@@ -210,6 +237,7 @@ class QueryEngine:
 
     def answer(self, query: InnerProductQuery) -> QueryAnswer:
         """Plan-cached twin of :meth:`Swat.answer` — bit-identical answers."""
+        self._sync_tree()
         if not self._fast_ok:
             self.fallbacks += 1
             return self.tree.answer(query)
@@ -237,6 +265,7 @@ class QueryEngine:
         ``QueryAnswer.estimates`` arrays are shared within a group; copy
         before mutating.
         """
+        self._sync_tree()
         batch = list(queries)
         _t0 = (
             time.perf_counter()

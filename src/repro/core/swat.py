@@ -184,6 +184,10 @@ class Swat:
         # query spans run on the perf_counter clock.
         self.causal = causal_mod.current_causal()
         self._time = 0
+        # Restore epoch: bumped by restore_state so caches holding a
+        # reference to this tree (compiled query plans, warmth gates) can
+        # detect that the contents were swapped out beneath them.
+        self.epoch = 0
         # Raw ring buffer feeding the coarsest maintained level; for
         # min_level == 0 it is just the last two values (the paper's
         # "R_{-1} and L_{-1} are data values d_0 and d_1").
@@ -714,13 +718,24 @@ class Swat:
 
         Captures everything :meth:`from_state` needs to resume the stream
         mid-flight: configuration, the arrival clock, the raw ring buffer,
-        and each filled node's coefficients and end time.
+        and each filled node's coefficients and end time.  Every float is
+        finiteness-gated through :func:`~repro.core.errors.require_finite`
+        on the way out: a ``NaN`` or ``Infinity`` that slipped into a node
+        would otherwise serialize as the non-standard ``NaN``/``Infinity``
+        JSON tokens and poison strict consumers, so the checkpoint fails
+        loudly here instead (``json.dumps(state, allow_nan=False)`` is then
+        always safe).
         """
         nodes: List[Dict[str, object]] = []
         for level, lv in enumerate(self._levels):
             for role, node in lv.items():
                 coeffs = node.coeffs
                 if coeffs is not None:
+                    require_finite(coeffs, f"node {role}{level} coefficients")
+                    if node.deviation is not None:
+                        require_finite(
+                            node.deviation, f"node {role}{level} deviation"
+                        )
                     nodes.append(
                         {
                             "level": level,
@@ -735,6 +750,9 @@ class Swat:
                             ),
                         }
                     )
+        buffer = [float(v) for v in self._buffer]
+        if buffer:
+            require_finite(np.asarray(buffer, dtype=np.float64), "ring buffer")
         return {
             "window_size": self.window_size,
             "k": self.k,
@@ -744,13 +762,25 @@ class Swat:
             "track_deviation": self.track_deviation,
             "selection": self.selection,
             "time": self._time,
-            "buffer": [float(v) for v in self._buffer],
+            "buffer": buffer,
             "nodes": nodes,
         }
 
     @classmethod
-    def from_state(cls, state: dict) -> "Swat":
-        """Restore a summary checkpointed by :meth:`to_state`."""
+    def from_state(
+        cls, state: dict, *, check_invariants: Optional[bool] = None
+    ) -> "Swat":
+        """Restore a summary checkpointed by :meth:`to_state`.
+
+        The state is validated before it is trusted: node levels must fall in
+        the maintained range, coefficient vectors may not exceed ``k``,
+        ``end_time`` may not sit in the future of the restored arrival clock,
+        and every float must be finite.  When invariant checking is enabled
+        (explicit argument or ``REPRO_CHECK_INVARIANTS``) the full
+        :func:`repro.contracts.check_swat` contract runs on the result.  Any
+        violation raises :exc:`ValueError` — a corrupt checkpoint must fail
+        the restore, not quietly produce wrong answers later.
+        """
         try:
             tree = cls(
                 state["window_size"],
@@ -760,27 +790,118 @@ class Swat:
                 use_raw_leaves=state["use_raw_leaves"],
                 track_deviation=state.get("track_deviation", False),
                 selection=state.get("selection", "first"),
+                check_invariants=check_invariants,
             )
-            tree._time = int(state["time"])
-            tree._buffer.extend(float(v) for v in state["buffer"])
-            for entry in state["nodes"]:
-                node = tree._levels[entry["level"]][entry["role"]]
-                positions = entry.get("positions")
-                node.set_contents(
-                    np.asarray(entry["coeffs"], dtype=np.float64),
-                    int(entry["end_time"]),
-                    entry.get("deviation"),
-                    None if positions is None else np.asarray(positions, dtype=np.int64),
+            now = int(state["time"])
+            if now < 0:
+                raise _malformed(f"negative arrival clock {now}")
+            tree._time = now
+            buffer = [float(v) for v in state["buffer"]]
+            maxlen = tree._buffer.maxlen
+            assert maxlen is not None  # always set in __init__
+            if len(buffer) > maxlen:
+                raise _malformed(
+                    f"buffer holds {len(buffer)} values, ring capacity is {maxlen}"
                 )
+            if buffer and not bool(
+                np.isfinite(np.asarray(buffer, dtype=np.float64)).all()
+            ):
+                raise _malformed("ring buffer contains non-finite values")
+            tree._buffer.extend(buffer)
+            for entry in state["nodes"]:
+                level = int(entry["level"])
+                role = entry["role"]
+                if not tree.min_level <= level < tree.n_levels:
+                    raise _malformed(
+                        f"node level {level} outside the maintained range "
+                        f"[{tree.min_level}, {tree.n_levels - 1}]"
+                    )
+                lv = tree._levels[level]
+                if role not in lv:
+                    raise _malformed(f"level {level} keeps no role {role!r}")
+                coeffs = np.asarray(entry["coeffs"], dtype=np.float64)
+                if coeffs.ndim != 1 or not 1 <= coeffs.size <= tree.k:
+                    raise _malformed(
+                        f"node {role}{level} carries {coeffs.size} coefficients "
+                        f"(k={tree.k})"
+                    )
+                if not bool(np.isfinite(coeffs).all()):
+                    raise _malformed(
+                        f"node {role}{level} coefficients are non-finite"
+                    )
+                end_time = int(entry["end_time"])
+                if end_time > now:
+                    raise _malformed(
+                        f"node {role}{level} ends at t={end_time}, in the "
+                        f"future of the arrival clock t={now}"
+                    )
+                deviation = entry.get("deviation")
+                if deviation is not None:
+                    deviation = float(deviation)
+                    if not math.isfinite(deviation):
+                        raise _malformed(
+                            f"node {role}{level} deviation is non-finite"
+                        )
+                positions = entry.get("positions")
+                pos_arr: Optional[np.ndarray] = None
+                if positions is not None:
+                    pos_arr = np.asarray(positions, dtype=np.int64)
+                    if pos_arr.shape != coeffs.shape:
+                        raise _malformed(
+                            f"node {role}{level} has {pos_arr.size} positions "
+                            f"for {coeffs.size} coefficients"
+                        )
+                lv[role].set_contents(coeffs, end_time, deviation, pos_arr)
         except (KeyError, IndexError, TypeError) as exc:
             raise ValueError(f"malformed Swat state: {exc}") from exc
+        if tree._check_invariants:
+            try:
+                contracts.check_swat(tree)
+            except contracts.InvariantViolation as exc:
+                raise _malformed(str(exc)) from exc
         return tree
+
+    def restore_state(self, state: dict) -> None:
+        """Swap this tree's contents for a checkpointed state, in place.
+
+        Equivalent to :meth:`from_state` — including all of its validation —
+        but preserves object identity so live references (replication sites,
+        a :class:`~repro.core.engine.QueryEngine`) follow the restore.  Bumps
+        :attr:`epoch`; caches keyed on the pre-restore node versions must
+        treat the whole tree as new, because the fresh nodes restart their
+        version counters.  The checkpoint must describe the same
+        configuration this tree was built with.
+        """
+        tree = Swat.from_state(state, check_invariants=self._check_invariants)
+        for attr in (
+            "window_size",
+            "k",
+            "wavelet",
+            "min_level",
+            "use_raw_leaves",
+            "track_deviation",
+            "selection",
+        ):
+            if getattr(tree, attr) != getattr(self, attr):
+                raise _malformed(
+                    f"{attr}={getattr(tree, attr)!r} does not match the live "
+                    f"tree's {getattr(self, attr)!r}"
+                )
+        self._time = tree._time
+        self._buffer = tree._buffer
+        self._levels = tree._levels
+        self.epoch += 1
 
     def __repr__(self) -> str:
         return (
             f"Swat(N={self.window_size}, k={self.k}, wavelet={self.wavelet!r}, "
             f"levels={self.min_level}..{self.n_levels - 1}, t={self._time})"
         )
+
+
+def _malformed(detail: str) -> ValueError:
+    """A checkpoint-state validation failure (uniform, test-matched prefix)."""
+    return ValueError(f"malformed Swat state: {detail}")
 
 
 def _trailing_zeros(t: int) -> int:

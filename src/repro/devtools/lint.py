@@ -590,7 +590,7 @@ RULES: Tuple[Rule, ...] = (
     Rule(
         "REP007",
         "no bare except or swallowed exceptions in fault-handling layers",
-        ("network", "replication"),
+        ("network", "replication", "persist"),
         _check_rep007,
     ),
     Rule(

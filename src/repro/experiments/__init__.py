@@ -19,6 +19,7 @@ from .distributed import (
     replication_dataset,
     space_complexity,
     trace_chaos_demo,
+    warm_recovery_demo,
 )
 from .report import generate_report
 
@@ -39,5 +40,6 @@ __all__ = [
     "space_complexity",
     "fault_tolerance_demo",
     "trace_chaos_demo",
+    "warm_recovery_demo",
     "generate_report",
 ]

@@ -147,3 +147,71 @@ class PrefixStats:
     def _check(self, i: int, j: int) -> None:
         if not 0 <= i <= j <= self.size:
             raise IndexError(f"interval [{i}, {j}) out of range for size {self.size}")
+
+    # ----------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Checkpoint the ring as a dict of raw internals.
+
+        The prefix arrays are *not* a pure function of the window contents:
+        compaction rebases them by subtracting a floating-point base, so a
+        restore that recomputed ``cumsum`` from the values could differ by an
+        ULP and desynchronize the timing of future compactions.  Bit-identical
+        resume therefore captures the live array slices at their current
+        offsets (dead slots below ``start`` are never read and are not
+        stored).  Arrays come back as ``np.ndarray`` so the checkpoint layer
+        can store them in binary form.
+        """
+        return {
+            "window_size": self.window_size,
+            "start": self._start,
+            "end": self._end,
+            "values": self._values[self._start : self._end].copy(),
+            "csum": self._csum[self._start : self._end + 1].copy(),
+            "csq": self._csq[self._start : self._end + 1].copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PrefixStats":
+        """Restore a ring checkpointed by :meth:`to_state` (validated).
+
+        Raises :exc:`ValueError` when the state is structurally inconsistent
+        (bounds outside the allocation, array lengths that disagree with the
+        bounds, non-finite contents) — the same fail-on-restore contract as
+        :meth:`repro.core.swat.Swat.from_state`.
+        """
+        try:
+            ring = cls(int(state["window_size"]))
+            start = int(state["start"])
+            end = int(state["end"])
+            values = np.asarray(state["values"], dtype=np.float64)
+            csum = np.asarray(state["csum"], dtype=np.float64)
+            csq = np.asarray(state["csq"], dtype=np.float64)
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed PrefixStats state: {exc}") from exc
+        size = end - start
+        if not (0 <= start <= end <= ring._cap) or size > ring.window_size:
+            raise ValueError(
+                f"malformed PrefixStats state: window [{start}, {end}) invalid "
+                f"for capacity {ring._cap} and window_size {ring.window_size}"
+            )
+        if (
+            values.shape != (size,)
+            or csum.shape != (size + 1,)
+            or csq.shape != (size + 1,)
+        ):
+            raise ValueError(
+                "malformed PrefixStats state: array lengths do not match the "
+                "window bounds"
+            )
+        if not bool(
+            np.isfinite(values).all()
+            and np.isfinite(csum).all()
+            and np.isfinite(csq).all()
+        ):
+            raise ValueError("malformed PrefixStats state: non-finite contents")
+        ring._start, ring._end = start, end
+        ring._values[start:end] = values
+        ring._csum[start : end + 1] = csum
+        ring._csq[start : end + 1] = csq
+        return ring

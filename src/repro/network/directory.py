@@ -120,6 +120,56 @@ class DirectoryRow:
         self.local_reads = 0
         self.write_count = 0
 
+    # ----------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Checkpoint the row as a JSON-serializable dict.
+
+        Collections are emitted in sorted order so identical directories
+        always checkpoint to identical bytes (the same determinism rule the
+        protocol's own iteration follows).
+        """
+        return {
+            "segment": [self.segment.newest, self.segment.oldest],
+            "approx": None if self.approx is None else list(self.approx),
+            "subscribed": sorted(self.subscribed),
+            "interested": sorted(self.interested),
+            "read_counts": dict(sorted(self.read_counts.items())),
+            "local_reads": self.local_reads,
+            "write_count": self.write_count,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Adopt a checkpointed row state (validated; segment must match)."""
+        try:
+            newest, oldest = (int(v) for v in state["segment"])
+            approx = state["approx"]
+            if approx is not None:
+                lo, hi = (float(v) for v in approx)
+                if not (math.isfinite(lo) and math.isfinite(hi) and lo <= hi):
+                    raise ValueError(
+                        f"malformed DirectoryRow state: approx [{lo}, {hi}]"
+                    )
+                approx = (lo, hi)
+            subscribed = {str(s) for s in state["subscribed"]}
+            interested = {str(s) for s in state["interested"]}
+            read_counts = {str(k): int(v) for k, v in state["read_counts"].items()}
+            local_reads = int(state["local_reads"])
+            write_count = int(state["write_count"])
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed DirectoryRow state: {exc}") from exc
+        if (newest, oldest) != (self.segment.newest, self.segment.oldest):
+            raise ValueError(
+                f"malformed DirectoryRow state: segment ({newest},{oldest}) "
+                f"does not match row {self.segment}"
+            )
+        self.approx = approx
+        self.subscribed = subscribed
+        self.interested = interested
+        self.read_counts = read_counts
+        self.local_reads = local_reads
+        self.write_count = write_count
+
 
 class Directory:
     """Per-site directory: one :class:`DirectoryRow` per window segment."""
@@ -152,6 +202,39 @@ class Directory:
     def cached_count(self) -> int:
         """Number of cached approximations at this site (space metric, §5.1)."""
         return sum(1 for row in self.rows.values() if row.is_cached)
+
+    # ----------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Checkpoint every row, in the canonical dyadic partition order."""
+        return {
+            "window_size": self.window_size,
+            "rows": [self.rows[seg].to_state() for seg in self._segment_list],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Adopt a checkpointed directory in place (validated).
+
+        The state must describe the same window partition: one row per
+        canonical segment, in order.  Raises :exc:`ValueError` otherwise.
+        """
+        try:
+            window_size = int(state["window_size"])
+            rows = list(state["rows"])
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed Directory state: {exc}") from exc
+        if window_size != self.window_size:
+            raise ValueError(
+                f"malformed Directory state: window_size {window_size} does "
+                f"not match the live directory's {self.window_size}"
+            )
+        if len(rows) != len(self._segment_list):
+            raise ValueError(
+                f"malformed Directory state: {len(rows)} rows for "
+                f"{len(self._segment_list)} segments"
+            )
+        for seg, row_state in zip(self._segment_list, rows):
+            self.rows[seg].load_state(row_state)
 
     def __repr__(self) -> str:
         cached = ", ".join(str(s) for s, r in self.rows.items() if r.is_cached)

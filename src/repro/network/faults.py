@@ -86,6 +86,12 @@ class FaultPlan:
         ``[0, jitter]``); 0 disables reordering.
     crashes:
         Site outage windows (:class:`CrashWindow` instances).
+    torn_write_rate:
+        Per-checkpoint-write probability in ``[0, 1]`` that the write is
+        *torn*: the process dies mid-write, leaving a truncated file on
+        disk.  Consulted by the persistence layer
+        (:mod:`repro.persist`), not the transport; exercises the
+        checksum-rejection and cold-resync fallback paths.
     """
 
     def __init__(
@@ -95,8 +101,13 @@ class FaultPlan:
         duplicate_rate: float = 0.0,
         jitter: float = 0.0,
         crashes: Sequence[CrashWindow] = (),
+        torn_write_rate: float = 0.0,
     ) -> None:
-        for name, rate in (("drop_rate", drop_rate), ("duplicate_rate", duplicate_rate)):
+        for name, rate in (
+            ("drop_rate", drop_rate),
+            ("duplicate_rate", duplicate_rate),
+            ("torn_write_rate", torn_write_rate),
+        ):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
         if jitter < 0:
@@ -106,6 +117,7 @@ class FaultPlan:
         self.duplicate_rate = duplicate_rate
         self.jitter = jitter
         self.crashes: Tuple[CrashWindow, ...] = tuple(crashes)
+        self.torn_write_rate = torn_write_rate
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------- per-send
@@ -149,6 +161,30 @@ class FaultPlan:
             return self._keyed_uniform(key) * self.jitter
         return float(self._rng.uniform(0.0, self.jitter))
 
+    def roll_torn_write(self, key: Optional[Tuple[int, ...]] = None) -> bool:
+        """One torn-write decision for the checkpoint write named by ``key``.
+
+        Like the transmission rolls, a keyed roll is a pure function of
+        ``(seed, key)`` so a write's fate does not depend on event order;
+        an unkeyed roll consumes one draw from the shared stream RNG.
+        """
+        if self.torn_write_rate <= 0.0:
+            return False
+        if key is not None:
+            return self._keyed_uniform(key) < self.torn_write_rate
+        return bool(self._rng.random() < self.torn_write_rate)
+
+    def roll_torn_fraction(self, key: Optional[Tuple[int, ...]] = None) -> float:
+        """Fraction of the file that survives a torn write, uniform ``[0, 1)``.
+
+        Rolled only after :meth:`roll_torn_write` returned True; callers pass
+        a *different* key than the decision roll (a distinct purpose code)
+        so the two draws are independent.
+        """
+        if key is not None:
+            return self._keyed_uniform(key)
+        return float(self._rng.random())
+
     # -------------------------------------------------------------- crashes
 
     def is_crashed(self, site: str, at: float) -> bool:
@@ -184,21 +220,23 @@ class FaultPlan:
             "crashes": [
                 {"site": w.site, "start": w.start, "end": w.end} for w in self.crashes
             ],
+            "torn_write_rate": self.torn_write_rate,
         }
 
     @property
     def is_zero_fault(self) -> bool:
-        """True when the plan can never perturb a delivery."""
+        """True when the plan can never perturb a delivery or a checkpoint."""
         return (
             self.drop_rate == 0.0
             and self.duplicate_rate == 0.0
             and self.jitter == 0.0
             and not self.crashes
+            and self.torn_write_rate == 0.0
         )
 
     def __repr__(self) -> str:
         return (
             f"FaultPlan(seed={self.seed}, drop={self.drop_rate}, "
             f"dup={self.duplicate_rate}, jitter={self.jitter}, "
-            f"crashes={len(self.crashes)})"
+            f"crashes={len(self.crashes)}, torn={self.torn_write_rate})"
         )

@@ -1,0 +1,47 @@
+"""Durable checkpoints and write-ahead logging (crash recovery).
+
+The persistence subsystem turns the in-memory summaries into state a
+process restart can survive:
+
+* :mod:`repro.persist.checkpoint` — a versioned, checksummed single-file
+  container (JSON header + JSON state + NPZ arrays) written atomically;
+* :mod:`repro.persist.wal` — a bounded, CRC-framed, torn-tail-tolerant
+  write-ahead log so restore = checkpoint load + replay;
+* :mod:`repro.persist.store` — :class:`CheckpointPolicy` (when) and
+  :class:`CheckpointStore` (where) for per-site durable state.
+
+Wired into :class:`repro.replication.async_asr.AsyncSwatAsr`, a recovered
+site warm-restores from its latest valid checkpoint instead of distrusting
+everything it knew; a missing or corrupt checkpoint falls back to the
+legacy cold-resync path.  See ``docs/robustness.md`` ("Checkpoint &
+recovery").
+"""
+
+from .checkpoint import (
+    FORMAT_VERSION,
+    MAGIC,
+    CheckpointCorruptError,
+    lift_arrays,
+    load_checkpoint,
+    pack_swat_state,
+    plant_arrays,
+    write_checkpoint,
+)
+from .store import CheckpointPolicy, CheckpointStore
+from .wal import DEFAULT_MAX_RECORDS, WriteAheadLog, WriteAheadLogFull
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "CheckpointCorruptError",
+    "lift_arrays",
+    "plant_arrays",
+    "write_checkpoint",
+    "load_checkpoint",
+    "pack_swat_state",
+    "CheckpointPolicy",
+    "CheckpointStore",
+    "WriteAheadLog",
+    "WriteAheadLogFull",
+    "DEFAULT_MAX_RECORDS",
+]

@@ -1,0 +1,132 @@
+"""Checkpoint policy and per-site checkpoint/WAL storage.
+
+:class:`CheckpointPolicy` says *when* to cut a checkpoint (every ``M``
+arrivals, every phase boundary, or both); :class:`CheckpointStore` says
+*where* — one ``<site>.ckpt`` checkpoint file plus one ``<site>.wal``
+write-ahead log per site under a root directory.  The store is deliberately
+dumb: it hands out paths and cached :class:`~repro.persist.wal.WriteAheadLog`
+handles and leaves the decision of what state goes into a checkpoint to the
+owner (:class:`~repro.replication.async_asr.AsyncSwatAsr` for protocol
+sites, the CLI ``snapshot`` mode for standalone trees).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..network.faults import FaultPlan
+from .checkpoint import write_checkpoint
+from .wal import DEFAULT_MAX_RECORDS, WriteAheadLog
+
+__all__ = ["CheckpointPolicy", "CheckpointStore"]
+
+_SITE_SAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When a replicated site cuts a checkpoint.
+
+    Parameters
+    ----------
+    every_arrivals:
+        Checkpoint after this many stream arrivals since the last one
+        (``None`` disables the arrival trigger).
+    every_phase:
+        Checkpoint at every phase boundary (after the expansion/contraction
+        pass), closing the window on subscription-state drift the WAL does
+        not cover.
+    wal_limit:
+        Bound on WAL records between checkpoints; reaching it forces a
+        checkpoint regardless of the other triggers.
+    """
+
+    every_arrivals: Optional[int] = None
+    every_phase: bool = True
+    wal_limit: int = DEFAULT_MAX_RECORDS
+
+    def __post_init__(self) -> None:
+        if self.every_arrivals is not None and self.every_arrivals < 1:
+            raise ValueError(
+                f"every_arrivals must be >= 1, got {self.every_arrivals}"
+            )
+        if self.wal_limit < 1:
+            raise ValueError(f"wal_limit must be >= 1, got {self.wal_limit}")
+
+    def due_after_arrival(self, arrivals_since: int) -> bool:
+        """True when the arrival counter alone triggers a checkpoint."""
+        return (
+            self.every_arrivals is not None
+            and arrivals_since >= self.every_arrivals
+        )
+
+
+class CheckpointStore:
+    """Per-site durable storage under one root directory.
+
+    Site ids are sanitized into filenames (any character outside
+    ``[A-Za-z0-9._-]`` becomes ``_``); the canonical topology names
+    (``S``, ``C1``...) pass through unchanged.
+    """
+
+    def __init__(self, root: str, wal_limit: int = DEFAULT_MAX_RECORDS) -> None:
+        self.root = root
+        self.wal_limit = int(wal_limit)
+        os.makedirs(root, exist_ok=True)
+        self._wals: Dict[str, WriteAheadLog] = {}
+
+    def _slug(self, site: str) -> str:
+        return _SITE_SAFE.sub("_", site) or "_"
+
+    def checkpoint_path(self, site: str) -> str:
+        return os.path.join(self.root, f"{self._slug(site)}.ckpt")
+
+    def wal_path(self, site: str) -> str:
+        return os.path.join(self.root, f"{self._slug(site)}.wal")
+
+    def wal(self, site: str) -> WriteAheadLog:
+        """The site's WAL handle (one shared instance per site)."""
+        log = self._wals.get(site)
+        if log is None:
+            log = WriteAheadLog(self.wal_path(site), max_records=self.wal_limit)
+            self._wals[site] = log
+        return log
+
+    def write(
+        self,
+        site: str,
+        kind: str,
+        state: Any,
+        meta: Optional[Mapping[str, Any]] = None,
+        *,
+        faults: Optional[FaultPlan] = None,
+        torn_key: Optional[Tuple[int, ...]] = None,
+    ) -> int:
+        """Checkpoint ``site`` and truncate its WAL; returns bytes written.
+
+        The WAL reset happens only after the checkpoint file is durably in
+        place (atomic rename), so no ordering of the two steps can lose a
+        record that is not covered by the checkpoint.  A torn write
+        (injected) still resets the WAL — the process believed its
+        checkpoint succeeded; recovery then detects the corruption at load
+        time and falls back to a cold resync.
+        """
+        written = write_checkpoint(
+            self.checkpoint_path(site),
+            kind,
+            state,
+            meta,
+            faults=faults,
+            torn_key=torn_key,
+        )
+        self.wal(site).reset()
+        return written
+
+    def has_checkpoint(self, site: str) -> bool:
+        return os.path.exists(self.checkpoint_path(site))
+
+    def __repr__(self) -> str:
+        return f"CheckpointStore({self.root!r})"

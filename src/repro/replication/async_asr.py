@@ -47,6 +47,7 @@ about the degraded state: unsynced pairs and crashed sites are excused
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -72,10 +73,19 @@ from ..network.transport import Envelope, Transport
 from ..obs import causal as causal_mod
 from ..obs import metrics as obs
 from ..obs.causal import CausalTracer, Span, TraceContext
+from ..persist import (
+    CheckpointCorruptError,
+    CheckpointPolicy,
+    CheckpointStore,
+    load_checkpoint,
+)
 from ..simulate import shake as shake_mod
 from ..simulate.events import Simulator
 
 __all__ = ["AsyncSwatAsr", "QueryOutcome", "DEGRADED_WIDEN_FACTOR"]
+
+#: Checkpoint kind tag for per-site protocol state.
+SITE_CHECKPOINT_KIND = "asr-site"
 
 #: Degraded answers multiply the last-known range width by this factor: the
 #: summary may have drifted while the site was partitioned, so the served
@@ -146,6 +156,14 @@ class _Site:
         # per-sender sequence totally orders each receiver's update stream).
         self._push_seq = 0
         self._applied_version: Dict[Segment, int] = {}
+        #: Virtual time through which a successful warm restore re-certified
+        #: this site's pre-crash rows (``None`` until one happens).  A warm
+        #: restore makes pre-crash rows exactly as trustworthy as the normal
+        #: unsynced-pair window: every update the site missed while down was
+        #: marked unsynced at its parent (delivery failed), so the rows it
+        #: kept are valid by enclosure gating and the parent re-syncs the
+        #: rest.
+        self.trusted_restore_through: Optional[float] = None
 
     # --------------------------------------------------------------- queries
 
@@ -227,12 +245,19 @@ class _Site:
 
     def _suspect(self, seg: Segment) -> bool:
         """True when the row was last synced before this site's most recent
-        recovery from a crash window."""
+        recovery from a crash window — unless a warm restore from a valid
+        checkpoint covered that recovery, in which case the restored rows
+        carry the full trust of checkpoint + WAL replay."""
         plan = self.system.transport.faults
         if plan is None:
             return False
         recovered_at = plan.last_recovery_before(self.id, self.system.sim.now)
         if recovered_at is None:
+            return False
+        if (
+            self.trusted_restore_through is not None
+            and self.trusted_restore_through >= recovered_at
+        ):
             return False
         seen_at = self.last_update_at.get(seg)
         return seen_at is None or seen_at < recovered_at
@@ -296,7 +321,11 @@ class _Site:
                 ctx=env.trace,
             )
         elif env.kind == MessageKind.UNSUBSCRIBE:
-            self.directory.row(env.payload["segment"]).subscribed.discard(env.src)
+            seg = env.payload["segment"]
+            self.directory.row(seg).subscribed.discard(env.src)
+            self._wal(
+                {"k": "unsub", "seg": [seg.newest, seg.oldest], "src": env.src}
+            )
         else:  # pragma: no cover - transport validates kinds
             raise ValueError(f"unexpected envelope kind {env.kind!r}")
 
@@ -403,6 +432,15 @@ class _Site:
         enclosed = row.encloses(rng)
         row.approx = rng
         self.last_update_at[seg] = self.system.sim.now
+        self._wal(
+            {
+                "k": "up",
+                "seg": [seg.newest, seg.oldest],
+                "range": [rng[0], rng[1]],
+                "version": version,
+                "at": self.system.sim.now,
+            }
+        )
         if was_cached and not enclosed:
             row.write_count += 1
             # Sorted, not set order: which child's UPDATE is *sent* first
@@ -422,6 +460,10 @@ class _Site:
         """Send UPDATE/INSERT to ``child``; an undeliverable push marks the
         pair unsynced for re-sync once the child is reachable again."""
         self._push_seq += 1
+        # The sequence counter must survive a restart: a restored site whose
+        # counter rewound would emit versions its children already applied —
+        # and the stale-version guard would drop its pushes forever.
+        self._wal({"k": "push", "n": self._push_seq})
         self.system.transport.send(
             self.id,
             child,
@@ -437,6 +479,7 @@ class _Site:
         if shake_mod.DETECTOR is not None:
             shake_mod.note_write(f"site:{self.id}", "unsynced", child)
         self.unsynced.setdefault(child, set()).add(seg)
+        self._wal({"k": "mark", "child": child, "seg": [seg.newest, seg.oldest]})
         # Reconciliation loop: bounded per-message retries plus a periodic
         # re-sync attempt, the standard shape for AP systems — the loop keeps
         # rescheduling itself until every marked child has been repaired.
@@ -478,6 +521,7 @@ class _Site:
             if shake_mod.DETECTOR is not None:
                 shake_mod.note_write(f"site:{self.id}", "unsynced", child)
             segments = self.unsynced.pop(child)
+            self._wal({"k": "unmark", "child": child})
             for seg in sorted(segments, key=lambda s: (s.newest, s.oldest)):
                 row = self.directory.row(seg)
                 if not row.is_cached or child not in row.subscribed:
@@ -494,6 +538,145 @@ class _Site:
                 pushes += 1
         if span is not None:
             span.finish(self.system.sim.now, pushes=pushes)
+
+    # ----------------------------------------------------------- persistence
+
+    def _wal(self, record: Dict[str, Any]) -> None:
+        """Durably log one protocol event (no-op without a checkpoint store)."""
+        self.system.wal_append(self.id, record)
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """This site's durable protocol state as a JSON-serializable dict.
+
+        Everything is emitted in sorted/canonical order so identical sites
+        checkpoint to identical bytes.  In-flight queries (``pending``) are
+        deliberately absent: a crashed process's outstanding queries die with
+        it, and the issuing client's degraded fallback already answers them.
+        """
+        return {
+            "site": self.id,
+            "directory": self.directory.to_state(),
+            "last_update_at": [
+                [seg.newest, seg.oldest, at]
+                for seg, at in sorted(
+                    self.last_update_at.items(),
+                    key=lambda kv: (kv[0].newest, kv[0].oldest),
+                )
+            ],
+            "unsynced": [
+                [child, sorted([s.newest, s.oldest] for s in segs)]
+                for child, segs in sorted(self.unsynced.items())
+            ],
+            "push_seq": self._push_seq,
+            "applied_version": [
+                [seg.newest, seg.oldest, version]
+                for seg, version in sorted(
+                    self._applied_version.items(),
+                    key=lambda kv: (kv[0].newest, kv[0].oldest),
+                )
+            ],
+        }
+
+    def restore_from(
+        self, state: Mapping[str, Any], records: Sequence[Any]
+    ) -> None:
+        """Warm-restore: adopt a checkpoint state, then replay WAL records.
+
+        Everything is validated and reconstructed into locals first; the
+        site's live state is swapped only once the whole restore has
+        succeeded, so a malformed checkpoint or WAL record (:exc:`ValueError`)
+        leaves the site untouched for the legacy cold-resync fallback.
+
+        Replay is a *state* reconstruction, not a re-execution: no messages
+        are sent.  ``up`` records redo the enclosure-gated row write (same
+        ``write_count`` bookkeeping as :meth:`apply_update`), ``push``
+        records restore the monotone sequence counter (so the restored site
+        never re-issues versions its children already applied), and
+        ``mark``/``unmark`` records rebuild the unsynced map.
+        """
+        segment_by_pair = {
+            (s.newest, s.oldest): s for s in self.directory.segments
+        }
+
+        def seg_of(pair: Any) -> Segment:
+            try:
+                key = (int(pair[0]), int(pair[1]))
+            except (TypeError, ValueError, IndexError) as exc:
+                raise ValueError(
+                    f"malformed site state: bad segment {pair!r}"
+                ) from exc
+            seg = segment_by_pair.get(key)
+            if seg is None:
+                raise ValueError(f"malformed site state: unknown segment {key}")
+            return seg
+
+        try:
+            if state["site"] != self.id:
+                raise ValueError(
+                    f"malformed site state: checkpoint for {state['site']!r} "
+                    f"offered to {self.id!r}"
+                )
+            directory = Directory(self.system.window_size)
+            directory.load_state(state["directory"])
+            last_update_at = {
+                seg_of(entry[:2]): float(entry[2])
+                for entry in state["last_update_at"]
+            }
+            unsynced = {
+                str(child): {seg_of(pair) for pair in pairs}
+                for child, pairs in state["unsynced"]
+            }
+            push_seq = int(state["push_seq"])
+            applied = {
+                seg_of(entry[:2]): int(entry[2])
+                for entry in state["applied_version"]
+            }
+        except (KeyError, IndexError, TypeError) as exc:
+            raise ValueError(f"malformed site state: {exc}") from exc
+
+        for rec in records:
+            try:
+                kind = rec["k"]
+                if kind == "up":
+                    seg = seg_of(rec["seg"])
+                    lo, hi = (float(v) for v in rec["range"])
+                    row = directory.row(seg)
+                    was_cached = row.is_cached
+                    enclosed = row.encloses((lo, hi))
+                    row.approx = (lo, hi)
+                    last_update_at[seg] = float(rec["at"])
+                    version = rec.get("version")
+                    if version is not None:
+                        applied[seg] = max(applied.get(seg, 0), int(version))
+                    if was_cached and not enclosed:
+                        row.write_count += 1
+                elif kind == "unsub":
+                    directory.row(seg_of(rec["seg"])).subscribed.discard(
+                        str(rec["src"])
+                    )
+                elif kind == "push":
+                    push_seq = max(push_seq, int(rec["n"]))
+                elif kind == "mark":
+                    unsynced.setdefault(str(rec["child"]), set()).add(
+                        seg_of(rec["seg"])
+                    )
+                elif kind == "unmark":
+                    unsynced.pop(str(rec["child"]), None)
+                else:
+                    raise ValueError(f"unknown WAL record kind {kind!r}")
+            except (KeyError, IndexError, TypeError) as exc:
+                raise ValueError(
+                    f"malformed WAL record {rec!r}: {exc}"
+                ) from exc
+
+        self.directory = directory
+        self.last_update_at = last_update_at
+        self.unsynced = unsynced
+        self._push_seq = push_seq
+        self._applied_version = applied
+        self.pending.clear()
+        if self.unsynced:
+            self._schedule_resync()
 
 
 class AsyncSwatAsr:
@@ -522,6 +705,16 @@ class AsyncSwatAsr:
         ambient tracer (:func:`repro.obs.causal.current_causal`), so
         ``enable_causal()`` before construction traces every query, update
         cascade, and phase as a connected span tree.
+    checkpoints:
+        Optional :class:`~repro.persist.CheckpointStore`; attaching one
+        turns on durable per-site checkpoints plus write-ahead logging, and
+        crash recovery *warm-restores* sites from their latest valid
+        checkpoint instead of distrusting everything they knew.  A missing
+        or corrupt checkpoint falls back to the legacy distrust-and-resync
+        path.  ``None`` (the default) keeps behavior identical to before.
+    checkpoint_policy:
+        When to cut checkpoints (requires ``checkpoints``); defaults to
+        :class:`~repro.persist.CheckpointPolicy`'s every-phase trigger.
     """
 
     name = "SWAT-ASR (async)"
@@ -537,6 +730,8 @@ class AsyncSwatAsr:
         max_retries: int = 3,
         check_invariants: Optional[bool] = None,
         causal: Optional[CausalTracer] = None,
+        checkpoints: Optional[CheckpointStore] = None,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
     ) -> None:
         self.topology = topology
         self.window_size = window_size
@@ -564,6 +759,22 @@ class AsyncSwatAsr:
         self.query_outcomes: List[QueryOutcome] = []
         self.last_query_hops = 0
         self._check = contracts.resolve_check_flag(check_invariants)
+        if checkpoint_policy is not None and checkpoints is None:
+            raise ValueError("checkpoint_policy requires a CheckpointStore")
+        self.checkpoints = checkpoints
+        self.checkpoint_policy = (
+            checkpoint_policy
+            if checkpoint_policy is not None
+            else (CheckpointPolicy() if checkpoints is not None else None)
+        )
+        #: Stream arrivals since the last checkpoint (policy arrival trigger).
+        self._arrivals_since_ckpt = 0
+        #: site -> recovery time already handled by a warm-restore attempt,
+        #: so each crash window triggers exactly one restore.
+        self._recovered_through: Dict[str, float] = {}
+        #: Global checkpoint sequence number; part of the torn-write roll key
+        #: so every write's fate is an independent (but seeded) draw.
+        self._ckpt_seq = 0
 
     @property
     def stats(self) -> "MessageStats":
@@ -597,6 +808,144 @@ class AsyncSwatAsr:
             if site.unsynced:
                 site.resync()
 
+    # ----------------------------------------------------- durable checkpoints
+
+    def wal_append(self, site: str, record: Dict[str, Any]) -> None:
+        """Append one record to ``site``'s WAL (no-op without a store).
+
+        A full WAL forces a checkpoint first — the bound exists so replay
+        time stays bounded, and cutting a checkpoint is exactly how the
+        bound is honored.
+        """
+        if self.checkpoints is None:
+            return
+        wal = self.checkpoints.wal(site)
+        if wal.is_full:
+            self._checkpoint_site(site)  # resets the WAL
+        wal.append(record)
+
+    def checkpoint_all(self) -> None:
+        """Cut a checkpoint for every live site and reset the arrival counter.
+
+        Crashed sites are skipped: a dead process cannot write, and its
+        last on-disk checkpoint + WAL is precisely what recovery should see.
+        """
+        if self.checkpoints is None:
+            return
+        for node in self.topology.nodes:
+            if not self.transport.is_up(node):
+                continue
+            self._checkpoint_site(node)
+        # Benign by construction: on_data/on_phase_end are driver-sequenced
+        # entry points, never same-timestamp simulator events, and a
+        # reset/increment tie could only shift the *next* arrival-triggered
+        # checkpoint by one arrival — query answers are unaffected.
+        self._arrivals_since_ckpt = 0  # repro: ignore[REP008]
+
+    def _checkpoint_site(self, site_id: str) -> None:
+        assert self.checkpoints is not None
+        site = self.sites[site_id]
+        span: Optional[Span] = None
+        if self.causal is not None:
+            span = self.causal.start_span(
+                "checkpoint.write", at=self.sim.now, site=site_id
+            )
+        self._ckpt_seq += 1
+        written = self.checkpoints.write(
+            site_id,
+            SITE_CHECKPOINT_KIND,
+            site.checkpoint_state(),
+            {"site": site_id, "at": self.sim.now, "window_size": self.window_size},
+            faults=self.faults,
+            torn_key=(zlib.crc32(site_id.encode("utf-8")), self._ckpt_seq),
+        )
+        if span is not None:
+            span.finish(self.sim.now, bytes=written)
+
+    def _note_arrival(self) -> None:
+        if self.checkpoint_policy is None:
+            return
+        self._arrivals_since_ckpt += 1
+        if self.checkpoint_policy.due_after_arrival(self._arrivals_since_ckpt):
+            self.checkpoint_all()  # resets the counter
+
+    def _handle_recoveries(self) -> None:
+        """Warm-restore any site whose crash window has just ended.
+
+        Called at the top of every entry point (arrival, query, phase) after
+        virtual time has advanced, i.e. the first moment the driver touches
+        the protocol once a site is back up — the same moment the legacy
+        distrust window starts, so the two recovery paths are compared from
+        identical starting lines.
+        """
+        if self.checkpoints is None or self.faults is None:
+            return
+        for node in self.topology.nodes:
+            recovered_at = self.faults.last_recovery_before(node, self.sim.now)
+            if recovered_at is None:
+                continue
+            if self._recovered_through.get(node, float("-inf")) >= recovered_at:
+                continue
+            self._recovered_through[node] = recovered_at
+            self._warm_restore(node, recovered_at)
+
+    def _warm_restore(self, node: str, recovered_at: float) -> None:
+        """Restore ``node`` from checkpoint + WAL; fall back silently.
+
+        Any failure — missing file, checksum mismatch (torn write), or a
+        state dict that fails validation — leaves the site on the legacy
+        distrust-and-resync path: exactly the behavior this subsystem's
+        ``checkpoints=None`` mode has, just with a counter explaining why.
+        """
+        assert self.checkpoints is not None
+        site = self.sites[node]
+        span: Optional[Span] = None
+        if self.causal is not None:
+            span = self.causal.start_span(
+                "checkpoint.load", at=self.sim.now, site=node
+            )
+        try:
+            state, _meta = load_checkpoint(
+                self.checkpoints.checkpoint_path(node), SITE_CHECKPOINT_KIND
+            )
+        except FileNotFoundError:
+            if obs.ENABLED:
+                obs.counter("checkpoint.load.missing").inc()
+            if span is not None:
+                span.finish(self.sim.now, outcome="missing")
+            return
+        except CheckpointCorruptError:
+            # checkpoint.load.corrupt was bumped by the loader.
+            if span is not None:
+                span.finish(self.sim.now, outcome="corrupt")
+            return
+        if span is not None:
+            span.finish(self.sim.now, outcome="ok")
+        records, _torn = self.checkpoints.wal(node).replay()
+        replay_span: Optional[Span] = None
+        if self.causal is not None:
+            replay_span = self.causal.start_span(
+                "checkpoint.replay", at=self.sim.now, site=node
+            )
+        try:
+            site.restore_from(state, records)
+        except ValueError:
+            # Checksum-valid but semantically invalid state (e.g. written by
+            # a different configuration): refuse it, keep the cold path.
+            if obs.ENABLED:
+                obs.counter("checkpoint.load.corrupt").inc()
+            if replay_span is not None:
+                replay_span.finish(self.sim.now, outcome="invalid")
+            return
+        site.trusted_restore_through = recovered_at
+        if replay_span is not None:
+            replay_span.finish(
+                self.sim.now, outcome="ok", records=len(records)
+            )
+        if obs.ENABLED:
+            obs.counter("checkpoint.warm_restores", site=node).inc()
+            obs.histogram("checkpoint.replay.records").observe(len(records))
+
     # ------------------------------------------------------------- data path
 
     def on_data(self, value: float, now: Optional[float] = None) -> None:
@@ -608,8 +957,10 @@ class AsyncSwatAsr:
         """
         if now is not None and now > self.sim.now:
             self.sim.run_until(now)
+        self._handle_recoveries()
         self.window.update(value)
         if not self.is_warm:
+            self._note_arrival()
             return
         if self.faults is not None:
             self._resync_all()
@@ -634,6 +985,7 @@ class AsyncSwatAsr:
             # (retransmissions included), not just the source-local apply.
             root_span.finish(self.sim.now)
             causal_mod.record_update_trace(self.causal, root_span, self.name)
+        self._note_arrival()
         if self._check:
             contracts.check_async_asr(self)
 
@@ -654,6 +1006,7 @@ class AsyncSwatAsr:
             raise RuntimeError("stream window not yet full; warm up before querying")
         if now is not None and now > self.sim.now:
             self.sim.run_until(now)
+        self._handle_recoveries()
         issued_at = self.sim.now
         box: Dict[str, Any] = {}
 
@@ -737,6 +1090,7 @@ class AsyncSwatAsr:
         effects in the synchronous implementation's order at zero latency."""
         if now is not None and now > self.sim.now:
             self.sim.run_until(now)
+        self._handle_recoveries()
         if self.faults is not None:
             self._resync_all()
         root_span: Optional[Span] = None
@@ -795,6 +1149,11 @@ class AsyncSwatAsr:
         for node in self.topology.nodes:
             for seg in self._segments:
                 self.sites[node].directory.row(seg).reset_counts()
+        if self.checkpoint_policy is not None and self.checkpoint_policy.every_phase:
+            # After the count reset so the checkpoint captures the same
+            # fresh-phase state an uncrashed site would start the next phase
+            # with (subscription changes from this phase included).
+            self.checkpoint_all()
         if self._check:
             contracts.check_async_asr(self)
 

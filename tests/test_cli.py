@@ -47,7 +47,7 @@ class TestCli:
         expected = {
             "fig4a", "fig4c", "fig5", "fig6a", "fig6b",
             "fig9a", "fig9b", "fig9c", "fig10a", "fig10b", "space", "chaos",
-            "tracedemo",
+            "recovery", "tracedemo",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,227 @@
+"""Protocol-level crash recovery: checkpoints + WAL wired into AsyncSwatAsr.
+
+The durable-format properties live in ``tests/test_checkpoint.py``; here the
+async protocol itself checkpoints, crashes, and warm-restores.
+"""
+
+from typing import Optional
+
+import pytest
+
+from repro import obs
+from repro.core.queries import point_query
+from repro.data import uniform_stream
+from repro.experiments import warm_recovery_demo
+from repro.network.faults import CrashWindow, FaultPlan
+from repro.network.topology import Topology
+from repro.persist import (
+    CheckpointPolicy,
+    CheckpointStore,
+    load_checkpoint,
+)
+from repro.replication.async_asr import SITE_CHECKPOINT_KIND, AsyncSwatAsr
+
+
+def counters_by_prefix(prefix):
+    snap = obs.metrics_snapshot()["counters"]
+    return {k: v for k, v in snap.items() if k.startswith(prefix)}
+
+
+def drive(protocol, client, n, *, query_until=None, phase_every=16, seed=2):
+    """Feed ``n`` arrivals (1 per virtual second), querying ``client`` on
+    every third arrival up to ``query_until`` and closing phases every
+    ``phase_every`` arrivals."""
+    stream = uniform_stream(n, seed=seed)
+    t = 0.0
+    for i, value in enumerate(stream):
+        t += 1.0
+        protocol.on_data(float(value), now=t)
+        warm = protocol.is_warm
+        if warm and i % 3 == 0 and (query_until is None or i < query_until):
+            protocol.on_query(client, point_query(5, 300.0), now=t)
+        if (i + 1) % phase_every == 0 and (query_until is None or i < query_until):
+            protocol.on_phase_end(now=t)
+    return t
+
+
+def make_protocol(store: Optional[CheckpointStore], **kwargs) -> AsyncSwatAsr:
+    topo = Topology.complete_binary_tree(4)
+    extra = {}
+    if store is not None:
+        extra["checkpoints"] = store
+    return AsyncSwatAsr(topo, 32, latency=0.05, **extra, **kwargs)
+
+
+class TestWalReplayBitIdentity:
+    def test_restored_site_state_equals_never_crashed(self, tmp_path):
+        """checkpoint + WAL replay reconstructs exactly the state a site
+        that never went down would hold (the tentpole property)."""
+        store = CheckpointStore(str(tmp_path / "ck"))
+        live = make_protocol(store, checkpoint_policy=CheckpointPolicy())
+        leaf = live.topology.clients[0]
+        # Queries and phases stop at arrival 64 (the last checkpoint);
+        # the final stretch is pure arrivals, exactly what the WAL covers.
+        drive(live, leaf, 80, query_until=64)
+        twin = make_protocol(None)
+        for node in live.topology.nodes:
+            state, __ = load_checkpoint(
+                store.checkpoint_path(node), SITE_CHECKPOINT_KIND
+            )
+            records, torn = store.wal(node).replay()
+            assert torn == 0
+            twin.sites[node].restore_from(state, records)
+            assert (
+                twin.sites[node].checkpoint_state()
+                == live.sites[node].checkpoint_state()
+            )
+
+    def test_restore_rejects_wrong_site(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck"))
+        live = make_protocol(store, checkpoint_policy=CheckpointPolicy())
+        leaf = live.topology.clients[0]
+        drive(live, leaf, 48)
+        state, __ = load_checkpoint(
+            store.checkpoint_path(leaf), SITE_CHECKPOINT_KIND
+        )
+        other = live.topology.clients[1]
+        with pytest.raises(ValueError, match="malformed"):
+            live.sites[other].restore_from(state, [])
+
+    def test_restore_rejects_bad_wal_record(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck"))
+        live = make_protocol(store, checkpoint_policy=CheckpointPolicy())
+        leaf = live.topology.clients[0]
+        drive(live, leaf, 48)
+        state, __ = load_checkpoint(
+            store.checkpoint_path(leaf), SITE_CHECKPOINT_KIND
+        )
+        twin = make_protocol(None)
+        with pytest.raises(ValueError, match="WAL record"):
+            twin.sites[leaf].restore_from(state, [{"k": "no-such-kind"}])
+        # The failed restore left the site untouched.
+        assert twin.sites[leaf].checkpoint_state()["push_seq"] == 0
+
+
+class TestCheckpointTriggers:
+    def test_arrival_policy_checkpoints_without_phases(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck"))
+        protocol = make_protocol(
+            store,
+            checkpoint_policy=CheckpointPolicy(
+                every_arrivals=8, every_phase=False
+            ),
+        )
+        leaf = protocol.topology.clients[0]
+        t = 0.0
+        for value in uniform_stream(20, seed=2):
+            t += 1.0
+            protocol.on_data(float(value), now=t)
+        assert all(store.has_checkpoint(n) for n in protocol.topology.nodes)
+        assert leaf in protocol.sites  # scenario sanity
+
+    def test_full_wal_forces_checkpoint(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck"), wal_limit=8)
+        protocol = make_protocol(
+            store,
+            checkpoint_policy=CheckpointPolicy(
+                every_phase=False, wal_limit=8
+            ),
+        )
+        t = 0.0
+        for value in uniform_stream(64, seed=2):
+            t += 1.0
+            protocol.on_data(float(value), now=t)  # never raises WAL-full
+        assert store.has_checkpoint(protocol.topology.root)
+        assert len(store.wal(protocol.topology.root)) < 8
+
+    def test_policy_without_store_rejected(self):
+        with pytest.raises(ValueError, match="CheckpointStore"):
+            make_protocol(None, checkpoint_policy=CheckpointPolicy())
+
+
+class TestWarmRecoveryChaos:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row["mode"]: row for row in warm_recovery_demo()}
+
+    def test_warm_beats_cold_on_degraded_answers(self, rows):
+        assert (
+            rows["warm-restore"]["degraded_after_recovery"]
+            < rows["cold-resync"]["degraded_after_recovery"]
+        )
+
+    def test_warm_answers_clean_strictly_sooner(self, rows):
+        warm = rows["warm-restore"]["first_clean_answer_at"]
+        cold = rows["cold-resync"]["first_clean_answer_at"]
+        assert warm is not None
+        assert cold is None or warm < cold
+
+    def test_only_warm_mode_restores(self, rows):
+        assert rows["warm-restore"]["warm_restored_sites"] >= 1
+        assert rows["cold-resync"]["warm_restored_sites"] == 0
+        assert rows["torn-write"]["warm_restored_sites"] == 0
+
+    def test_torn_write_degrades_gracefully_to_cold_path(self, rows):
+        """A corrupted checkpoint must behave exactly like having none:
+        checkpoint writes consume no shared randomness, so the torn run's
+        message schedule — and every query outcome — matches cold-resync."""
+        torn, cold = rows["torn-write"], rows["cold-resync"]
+        assert torn["degraded_after_recovery"] == cold["degraded_after_recovery"]
+        assert torn["first_clean_answer_at"] == cold["first_clean_answer_at"]
+
+
+class TestRecoveryCounters:
+    def crashy_protocol(self, store, torn_rate):
+        topo = Topology.complete_binary_tree(4)
+        leaf = topo.clients[0]
+        plan = FaultPlan(
+            seed=1,
+            torn_write_rate=torn_rate,
+            crashes=(CrashWindow(leaf, 40.0, 50.0),),
+        )
+        protocol = AsyncSwatAsr(
+            topo,
+            32,
+            latency=0.05,
+            faults=plan,
+            checkpoints=store,
+            checkpoint_policy=CheckpointPolicy(),
+        )
+        return protocol, leaf
+
+    def run_past_crash(self, protocol, leaf):
+        t = drive(protocol, leaf, 56, query_until=None)
+        protocol.on_query(leaf, point_query(5, 300.0), now=t + 1.0)
+        return protocol.sites[leaf]
+
+    def test_torn_writes_bump_corrupt_counter_and_fall_back(
+        self, tmp_path, obs_registry
+    ):
+        store = CheckpointStore(str(tmp_path / "ck"))
+        protocol, leaf = self.crashy_protocol(store, torn_rate=1.0)
+        site = self.run_past_crash(protocol, leaf)
+        assert site.trusted_restore_through is None  # fell back to cold
+        assert sum(counters_by_prefix("checkpoint.torn_writes").values()) >= 1
+        assert sum(counters_by_prefix("checkpoint.load.corrupt").values()) >= 1
+        assert counters_by_prefix("checkpoint.warm_restores") == {}
+
+    def test_intact_checkpoint_warm_restores_and_counts(
+        self, tmp_path, obs_registry
+    ):
+        store = CheckpointStore(str(tmp_path / "ck"))
+        protocol, leaf = self.crashy_protocol(store, torn_rate=0.0)
+        site = self.run_past_crash(protocol, leaf)
+        assert site.trusted_restore_through == 50.0
+        assert sum(counters_by_prefix("checkpoint.warm_restores").values()) == 1
+        assert counters_by_prefix("checkpoint.load.corrupt") == {}
+
+    def test_missing_checkpoint_counts_and_falls_back(
+        self, tmp_path, obs_registry
+    ):
+        # A store with no checkpoints ever cut: recovery finds nothing.
+        store = CheckpointStore(str(tmp_path / "ck"))
+        protocol, leaf = self.crashy_protocol(store, torn_rate=0.0)
+        protocol.checkpoint_policy = CheckpointPolicy(every_phase=False)
+        site = self.run_past_crash(protocol, leaf)
+        assert site.trusted_restore_through is None
+        assert sum(counters_by_prefix("checkpoint.load.missing").values()) >= 1
