@@ -15,6 +15,8 @@ Usage::
     python -m repro shake --seed 7 --permutations 8  # schedule-perturbation
                                           # determinism check (+ race detector)
     python -m repro recovery --quick      # warm vs cold crash recovery
+    python -m repro govern --quick        # budget sweep: memory-vs-error
+                                          # frontier under the governor
     python -m repro snapshot s.ckpt       # checkpoint a seeded summary + WAL
     python -m repro restore s.ckpt        # load + replay; exit 1 on corruption
 
@@ -62,6 +64,7 @@ from .experiments import (
     fig9a_rate_sweep,
     fig9c_precision_sweep,
     format_table,
+    govern_frontier,
     space_complexity,
     trace_chaos_demo,
     warm_recovery_demo,
@@ -182,6 +185,42 @@ def _recovery(quick: bool) -> str:
     )
 
 
+def _render_govern(report: dict) -> str:
+    """The ``repro govern`` output: frontier table plus the safety footer."""
+    rows = [
+        {
+            "budget_bytes": r["budget"],
+            "frac": r["frac"],
+            "peak_bytes": r["peak"],
+            "budget_ok": r["budget_ok"],
+            "mean_k": r["mean_k"],
+            "mean_min_lvl": r["mean_min_level"],
+            "p95_rel_err": r["p95_rel_err"],
+            "err_ok": r["err_ok"],
+            "reconfigs": r["reconfigs"],
+            "ticks_shed": r["ticks_shed"],
+        }
+        for r in report["rows"]
+    ]
+    table = format_table(
+        rows,
+        f"Capacity frontier: {report['full_nbytes']} bytes ungoverned, "
+        f"{report['ticks_ingested']} ticks ingested "
+        f"({report['ticks_shed']} shed), p95 error target "
+        f"{report['error_p95_target']:g}",
+    )
+    footer = (
+        "disabled-governor run bit-identical to no governor: "
+        f"{report['fingerprint_match']} "
+        f"(digest {report['baseline_digest']})"
+    )
+    return f"{table}\n{footer}"
+
+
+def _govern(quick: bool) -> str:
+    return _render_govern(govern_frontier(quick=quick))
+
+
 def _tracedemo(quick: bool) -> str:
     from .obs import causal as causal_mod
 
@@ -208,6 +247,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "chaos": _chaos,
     "recovery": _recovery,
     "tracedemo": _tracedemo,
+    "govern": _govern,
 }
 
 #: Counter-name prefixes that describe injected faults and the protocol's
@@ -482,8 +522,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--report-out",
         default=None,
         metavar="FILE",
-        help="for 'shake': write the full report (fingerprints, divergences, "
-        "conflicts) as JSON to FILE",
+        help="for 'shake'/'govern': write the full report as JSON to FILE",
     )
     parser.add_argument(
         "-v",
@@ -612,6 +651,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         _dump_metrics(args.metrics_out)
         _dump_trace(args.trace_out, tracer, target)
         return 0
+
+    if args.experiment == "govern":
+        import json
+
+        if args.report_out is not None:
+            parent = os.path.dirname(args.report_out) or "."
+            if not os.path.isdir(parent):
+                print(
+                    f"--report-out: directory {parent!r} does not exist",
+                    file=sys.stderr,
+                )
+                return 2
+        report = govern_frontier(quick=args.quick)
+        print(_render_govern(report))
+        _dump_metrics(args.metrics_out)
+        _dump_trace(args.trace_out, tracer, "govern")
+        if args.report_out is not None:
+            with open(args.report_out, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+            print(f"govern report written to {args.report_out}", file=sys.stderr)
+        ok = report["fingerprint_match"] and all(
+            r["budget_ok"] for r in report["rows"]
+        )
+        return 0 if ok else 1
 
     if args.experiment == "report":
         from .experiments.report import generate_report

@@ -82,8 +82,15 @@ def check_swat(tree: "Swat") -> None:
     * refresh cadence: with ``t`` arrivals seen and ``p = 2^l``, a filled
       ``R_l`` ends at the latest refresh tick ``t - (t mod p)``, ``S_l`` one
       period earlier, and ``L_l`` two periods earlier.
+
+    A tree *settling* after a live :meth:`~repro.core.swat.Swat.reconfigure`
+    is excused from the cadence check only — the structural and ``k`` bounds
+    still hold — because reconfiguration legitimately leaves nodes stale
+    until the shift pipeline refills the disturbed levels.  The excusal ends
+    the moment the tree clears its settling flag.
     """
     t = tree.time
+    settling = bool(getattr(tree, "_settling", False))
     top = tree.n_levels - 1
     for level in range(tree.n_levels):
         roles = tree._levels[level]
@@ -109,6 +116,8 @@ def check_swat(tree: "Swat") -> None:
                     f"level {level} node {role}: {coeffs.size} coefficients "
                     f"exceeds k={tree.k}"
                 )
+            if settling:
+                continue  # cadence legitimately disturbed mid-reconfigure
             lag = {"R": 0, "S": 1, "L": 2}[role]
             expected_end = refresh_tick - lag * period
             if node.end_time != expected_end:

@@ -24,15 +24,20 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..control.accounting import MemoryLedger
+from ..control.shedding import AdmissionError, ArrivalQueue, QueryAdmission, degraded_answer
 from ..obs import causal as causal_mod
 from ..obs import metrics as obs
 from .engine import QueryEngine
 from .queries import InnerProductQuery
 from .swat import QueryAnswer, Swat
+
+if TYPE_CHECKING:
+    from ..control.governor import ResourceGovernor
 
 __all__ = ["StreamEnsemble"]
 
@@ -64,6 +69,15 @@ class StreamEnsemble:
         self._engines: Dict[str, QueryEngine] = {}
         self._pool: Optional[ThreadPoolExecutor] = None
         self.causal = causal_mod.current_causal()
+        # Resource-control plumbing (repro.control): the ledger tracks
+        # per-stream summary bytes (refreshed on block ingest and at phase
+        # boundaries — never per arrival); governor/admission/queue stay
+        # None unless attached, and a None value is free on the hot paths.
+        self.ledger = MemoryLedger()
+        self.governor: Optional["ResourceGovernor"] = None
+        self.admission: Optional[QueryAdmission] = None
+        self._arrival_queue: Optional[ArrivalQueue] = None
+        self._ticks = 0
 
     # ------------------------------------------------------------ management
 
@@ -73,6 +87,7 @@ class StreamEnsemble:
             raise ValueError(f"stream {name!r} already registered")
         tree = Swat(self.window_size, k=self.k)
         self._trees[name] = tree
+        self.ledger.set(name, tree.nbytes)
         return tree
 
     def remove_stream(self, name: str) -> None:
@@ -80,6 +95,117 @@ class StreamEnsemble:
             raise KeyError(f"no stream {name!r}")
         del self._trees[name]
         self._engines.pop(name, None)
+        self.ledger.drop(name)
+
+    # ------------------------------------------------------ resource control
+
+    def attach_governor(self, governor: "ResourceGovernor") -> None:
+        """Attach a resource governor; it runs at every phase boundary.
+
+        The governor immediately takes one step (phase 0), so an
+        over-budget initial configuration is corrected before any data
+        arrives — the budget holds for the *whole* run, not just from the
+        first boundary.
+        """
+        governor.bind(self)
+        self.governor = governor
+        governor.on_phase(self._ticks // max(1, self.window_size >> 1))
+
+    def attach_shedding(
+        self,
+        queue_capacity_ticks: Optional[int] = None,
+        *,
+        admission: Optional[QueryAdmission] = None,
+    ) -> None:
+        """Enable load shedding: a bounded arrival queue, query admission, or both.
+
+        With a queue attached, producers call :meth:`offer_columns` /
+        :meth:`ingest_pending` instead of :meth:`extend_columns`; overflow
+        ticks are dropped deterministically (newest first) and counted under
+        ``shed.*``.  ``admission`` bounds full-fidelity queries per phase;
+        over-budget batches degrade to coarse answers or raise
+        :exc:`~repro.control.shedding.AdmissionError` per its configuration.
+        """
+        if queue_capacity_ticks is not None:
+            self._arrival_queue = ArrivalQueue(queue_capacity_ticks)
+        if admission is not None:
+            self.admission = admission
+
+    @property
+    def arrival_queue(self) -> Optional[ArrivalQueue]:
+        """The bounded ingest queue, when shedding is attached."""
+        return self._arrival_queue
+
+    @property
+    def ticks(self) -> int:
+        """Synchronized ticks ingested so far (the ensemble arrival clock)."""
+        return self._ticks
+
+    def refresh_ledger(self) -> None:
+        """Re-read every stream's exact byte count into the ledger.
+
+        One walk per stream — called at phase boundaries and by the
+        governor around reconfigurations, never per arrival.
+        """
+        for name, tree in self._trees.items():
+            self.ledger.set(name, tree.nbytes)
+
+    def offer_columns(self, columns: Mapping[str, Sequence[float]]) -> int:
+        """Offer a column block to the bounded arrival queue (shedding mode).
+
+        Returns how many ticks were accepted; the rest were shed.  Call
+        :meth:`ingest_pending` to drain accepted ticks into the summaries.
+        """
+        if self._arrival_queue is None:
+            raise RuntimeError(
+                "no arrival queue attached (use attach_shedding(queue_capacity_ticks=...))"
+            )
+        missing = set(self._trees) - set(columns)
+        if missing:
+            raise ValueError(f"missing values for streams {sorted(missing)}")
+        unknown = set(columns) - set(self._trees)
+        if unknown:
+            raise KeyError(f"unknown streams {sorted(unknown)}")
+        return self._arrival_queue.offer(columns)
+
+    def ingest_pending(self) -> int:
+        """Drain the arrival queue into the summaries; returns ticks ingested."""
+        if self._arrival_queue is None:
+            return 0
+        total = 0
+        for block in self._arrival_queue.drain():
+            if not block:
+                continue
+            n = int(next(iter(block.values())).size)
+            self.extend_columns(block)
+            total += n
+        return total
+
+    def _after_ingest(self, before: int, after: int) -> None:
+        """Run phase-boundary hooks for every boundary the ingest crossed."""
+        half = self.window_size >> 1
+        if half <= 0 or (after // half) == (before // half):
+            return
+        for phase in range(before // half + 1, after // half + 1):
+            if self.admission is not None:
+                self.admission.on_phase()
+            if self.governor is not None:
+                self.governor.on_phase(phase)
+            else:
+                self.refresh_ledger()
+            self._publish_stream_gauges()
+
+    def _publish_stream_gauges(self) -> None:
+        """Per-stream shape/size gauges for ``repro stats`` (phase-boundary)."""
+        if obs.ENABLED:
+            for name, tree in self._trees.items():
+                obs.gauge("ensemble.stream.nbytes", stream=name).set(
+                    float(self.ledger.get(name))
+                )
+                obs.gauge("ensemble.stream.k", stream=name).set(float(tree.k))
+                obs.gauge("ensemble.stream.min_level", stream=name).set(
+                    float(tree.min_level)
+                )
 
     @property
     def streams(self) -> List[str]:
@@ -112,6 +238,8 @@ class StreamEnsemble:
             raise KeyError(f"unknown streams {sorted(unknown)}")
         for name, value in values.items():
             self._trees[name].update(float(value))
+        self._ticks += 1
+        self._after_ingest(self._ticks - 1, self._ticks)
 
     def extend(self, rows: Iterable[Mapping[str, float]]) -> None:
         """Ingest many synchronized ticks given row-wise (``{name: value}``).
@@ -166,8 +294,14 @@ class StreamEnsemble:
                 f"column lengths differ: {sorted(len(blocks[n]) for n in sorted(blocks))} "
                 "— synchronized streams need one value per tick for every stream"
             )
+        n_ticks = int(next(iter(blocks.values())).size) if blocks else 0
         for name, block in blocks.items():
-            self._trees[name].extend(block)
+            tree = self._trees[name]
+            tree.extend(block)
+            self.ledger.set(name, tree.nbytes)
+        before = self._ticks
+        self._ticks += n_ticks
+        self._after_ingest(before, self._ticks)
 
     # --------------------------------------------------------------- serving
 
@@ -216,6 +350,18 @@ class StreamEnsemble:
         if unknown:
             raise KeyError(f"unknown streams {sorted(unknown)}")
         total = sum(len(queries_by_stream[n]) for n in names)
+        if self.admission is not None and not self.admission.try_admit(total):
+            if not self.admission.degrade:
+                raise AdmissionError(
+                    f"{total} queries refused: per-phase admission budget of "
+                    f"{self.admission.max_queries_per_phase} is exhausted"
+                )
+            if obs.ENABLED:
+                obs.counter("shed.queries_degraded").inc(total)
+            return {
+                n: [degraded_answer(self._trees[n], q) for q in queries_by_stream[n]]
+                for n in names
+            }
         t0 = time.perf_counter()
         root = (
             self.causal.start_span(

@@ -77,6 +77,22 @@ class SwatNode:
         return 1 << (self.level + 1)
 
     @property
+    def nbytes(self) -> int:
+        """Array bytes held by the node's contents (analytic, exact).
+
+        Counts the coefficient vector plus the largest-``k`` position vector
+        when present — the state that actually scales with ``k``.  The memoized
+        reconstruction is a derived cache, not summary state, and is excluded
+        (it is dropped on every refresh anyway).
+        """
+        total = 0
+        if self.coeffs is not None:
+            total += int(self.coeffs.nbytes)
+        if self.positions is not None:
+            total += int(self.positions.nbytes)
+        return total
+
+    @property
     def is_filled(self) -> bool:
         return self.coeffs is not None
 

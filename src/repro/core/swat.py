@@ -176,7 +176,10 @@ class Swat:
         self.k = int(k)
         self.wavelet = wavelet
         self.min_level = int(min_level)
-        self.use_raw_leaves = bool(use_raw_leaves) and min_level == 0
+        # Remember what the caller asked for: a later reconfigure() back to
+        # min_level == 0 restores raw-leaf serving.
+        self._raw_leaves_requested = bool(use_raw_leaves)
+        self.use_raw_leaves = self._raw_leaves_requested and min_level == 0
         self.n_levels = n_levels
         self._is_haar = wavelet in ("haar", "db1")
         self._check_invariants = contracts.resolve_check_flag(check_invariants)
@@ -197,6 +200,15 @@ class Swat:
         for level in range(n_levels):
             roles = (Role.RIGHT,) if level == n_levels - 1 else Role.SCAN_ORDER
             self._levels.append({role: SwatNode(level, role) for role in roles})
+        # Live-reconfiguration state (:meth:`reconfigure`).  A tree is
+        # *settling* from the moment a min_level change disturbs the shift
+        # pipeline until every maintained node is back on the Figure 3(a)
+        # refresh cadence; while settling, ingestion takes the scalar path
+        # and queries may extrapolate across the not-yet-refilled levels.
+        self._settling = False
+        # Arrival clock value after which nbytes can no longer drift (node
+        # coefficient vectors have all been refreshed at the current k).
+        self._nbytes_settled_at = 0
 
     # ------------------------------------------------------------------ state
 
@@ -245,6 +257,37 @@ class Swat:
             if node.coeffs is not None
         )
 
+    @property
+    def nbytes(self) -> int:
+        """Exact array bytes held by the summary (analytic, no ``getsizeof``).
+
+        Counts every maintained node's coefficient/position arrays plus the
+        raw ring buffer (8 bytes per retained float).  This is the quantity
+        the resource governor budgets: the state that scales with ``k`` and
+        ``min_level``.  Container overheads (dicts, the node objects
+        themselves) are configuration-independent bookkeeping and excluded.
+        """
+        total = 8 * len(self._buffer)
+        for lv in self._levels[self.min_level :]:
+            for node in lv.values():
+                total += node.nbytes
+        return total
+
+    @property
+    def memory_settled(self) -> bool:
+        """True when :attr:`nbytes` can no longer change without a reconfigure.
+
+        A warm, non-settling tree whose nodes have all refreshed since the
+        last :meth:`reconfigure` holds a constant number of array bytes; the
+        ensemble ledger uses this O(1) check to skip per-arrival accounting
+        on steady-state trees.
+        """
+        return (
+            not self._settling
+            and self._time >= self.window_size
+            and self._time >= self._nbytes_settled_at
+        )
+
     def node(self, level: int, role: str) -> SwatNode:
         """Access a node by level and role (``"R"``, ``"S"``, ``"L"``)."""
         return self._levels[level][role]
@@ -288,6 +331,8 @@ class Swat:
             if fresh is not None:
                 coeffs, deviation, positions = fresh
                 lv[Role.RIGHT].set_contents(coeffs, t, deviation, positions)
+        if self._settling and self._is_on_cadence():
+            self._settling = False
         if self._check_invariants:
             contracts.check_swat(self)
         if obs.ENABLED and _t0 is not None:
@@ -310,9 +355,11 @@ class Swat:
         cascade of :meth:`_extend_batch` — ``O(B log N)`` NumPy work for a
         block of ``B`` arrivals, bit-identical to replaying :meth:`update`
         value by value.  Generic wavelets and largest-``k`` trees fall back
-        to the scalar loop.
+        to the scalar loop, as does a tree still settling after a
+        :meth:`reconfigure` (the batch cascade's inter-block carry assumes
+        an undisturbed shift pipeline).
         """
-        if self._is_haar and self.selection == "first":
+        if self._is_haar and self.selection == "first" and not self._settling:
             if isinstance(values, np.ndarray):
                 block = np.asarray(values, dtype=np.float64)
             else:
@@ -418,6 +465,10 @@ class Swat:
                         older_devs[1:] = prev_devs[tail_idx]
                         older_devs[0] = carry.deviation
                 rows = batch_combine_haar(older_rows, newer_rows, self.k)
+                if rows.shape[1] > (1 << (level + 1)):
+                    # Mirror _fresh_right's cap: coefficients past the
+                    # segment length are identically zero.
+                    rows = rows[:, : 1 << (level + 1)].copy()
                 devs = None
                 if track:
                     assert prev_devs is not None and older_devs is not None
@@ -517,6 +568,14 @@ class Swat:
         older_coeffs, newer_coeffs = older.coeffs, newer.coeffs
         if older_coeffs is None or newer_coeffs is None:
             return None
+        if newer.end_time != t or older.end_time != t - (1 << level):
+            # The children are not the two adjacent half-segments ending at
+            # ``t``.  In undisturbed operation the shift cadence makes this
+            # impossible once both children are filled; it arises only while
+            # the tree settles after reconfigure() left lower levels stale.
+            # Combining here would stamp old contents with a fresh end_time,
+            # so skip the refresh until the children re-align.
+            return None
         if self.selection == "largest":
             positions, coeffs = sparse_combine(
                 older.positions, older_coeffs, newer.positions, newer_coeffs, self.k
@@ -524,6 +583,14 @@ class Swat:
             return coeffs, None, positions
         if self._is_haar:
             coeffs = combine_haar(older_coeffs, newer_coeffs, self.k)
+            seg_len = 1 << (level + 1)
+            if coeffs.size > seg_len:
+                # combine_haar zero-pads its output to k, but a segment of
+                # 2^{l+1} values has only that many Haar coefficients — the
+                # tail is identically zero.  Capping keeps reconstructions
+                # bit-identical and the per-node footprint exactly
+                # min(k, 2^{l+1}), which accounting.config_nbytes relies on.
+                coeffs = coeffs[:seg_len].copy()
             deviation = None
             if self.track_deviation:
                 # Sound k=1 bound: a point errs by at most its child's
@@ -538,6 +605,126 @@ class Swat:
         joined = np.concatenate([older.reconstruct(self.wavelet), newer.reconstruct(self.wavelet)])
         return truncate(full_decompose(joined, self.wavelet), self.k), None, None
 
+    # -------------------------------------------------------- reconfiguration
+
+    def reconfigure(
+        self, *, k: Optional[int] = None, min_level: Optional[int] = None
+    ) -> bool:
+        """Resize the summary in place: the Section 2.5/2.6 knobs, live.
+
+        ``k`` truncates (or allows future growth of) every node's coefficient
+        vector; ``min_level`` switches between the full and reduced-level
+        trees.  Returns True when anything actually changed.  Intended to be
+        called at phase boundaries by the resource governor
+        (:mod:`repro.control`), but safe at any arrival.
+
+        Semantics:
+
+        * Lowering ``k`` truncates each filled node to its first ``k``
+          coefficients.  First-``k`` prefixes are exact, so the resulting
+          state is *identical* to a tree that ran with the smaller ``k`` all
+          along; no settling is needed, and answers shrink in accuracy
+          exactly as Section 2.6 predicts.
+        * Raising ``k`` changes future refreshes only; existing nodes keep
+          their shorter vectors (always a legal state — combine zero-pads)
+          and grow as the shift pipeline refreshes them.
+        * Changing ``min_level`` empties the levels below the new coarsest
+          level (raising) or starts maintaining them from scratch (lowering)
+          and re-seeds the raw ring buffer from the retained tail.  The tree
+          then *settles*: ingestion takes the scalar path, upper levels skip
+          refreshes whose children are still stale (see
+          :meth:`_fresh_right`), queries may extrapolate across the
+          disturbed levels, and :func:`repro.contracts.check_swat` excuses
+          the refresh cadence — until every maintained node is back on
+          cadence (a few window-halves of arrivals at most).
+
+        Bumps :attr:`epoch` on any change so compiled query plans and warmth
+        gates can never serve the resized tree from stale caches.
+        """
+        changed = False
+        if k is not None:
+            new_k = int(k)
+            if new_k < 1:
+                raise ValueError("k must be >= 1")
+            if self.track_deviation and new_k != 1:
+                raise ValueError(
+                    "deviation tracking is defined for k=1 trees; cannot "
+                    f"reconfigure to k={new_k}"
+                )
+            if new_k != self.k:
+                if new_k < self.k and self.selection == "largest":
+                    raise ValueError(
+                        "cannot truncate a largest-k tree: retained "
+                        "coefficients are not prefix-nested"
+                    )
+                if new_k < self.k:
+                    for lv in self._levels:
+                        for node in lv.values():
+                            coeffs = node.coeffs
+                            if coeffs is not None and coeffs.size > new_k:
+                                node.set_contents(
+                                    coeffs[:new_k].copy(),
+                                    node.end_time,
+                                    node.deviation,
+                                    None,
+                                )
+                self.k = new_k
+                changed = True
+        if min_level is not None:
+            new_m = int(min_level)
+            if not 0 <= new_m < self.n_levels:
+                raise ValueError(
+                    f"min_level must be in [0, {self.n_levels - 1}], got {new_m}"
+                )
+            if new_m != self.min_level:
+                old_m = self.min_level
+                if new_m > old_m:
+                    # The abandoned fine levels are no longer maintained;
+                    # empty them so nothing stale can ever resurface if a
+                    # later reconfigure lowers min_level again.
+                    for level in range(old_m, new_m):
+                        self._levels[level] = {
+                            role: SwatNode(level, role) for role in Role.SCAN_ORDER
+                        }
+                self.min_level = new_m
+                self.use_raw_leaves = self._raw_leaves_requested and new_m == 0
+                # Re-seed the ring buffer feeding the new coarsest level from
+                # the retained raw tail (deque keeps the newest values).
+                self._buffer = deque(self._buffer, maxlen=1 << (new_m + 1))
+                if self._time > 0:
+                    self._settling = True
+                changed = True
+        if changed:
+            self.epoch += 1
+            self._nbytes_settled_at = self._time + 2 * self.window_size
+            if self._check_invariants:
+                contracts.check_swat(self)
+        return changed
+
+    def _is_on_cadence(self) -> bool:
+        """True when every maintained node is filled on the Figure 3(a) cadence.
+
+        This is the settling-exit test after a :meth:`reconfigure`: a pure
+        function of the tree state, so batch and scalar ingestion agree on
+        when the flag clears.  It demands the full steady state (every
+        maintained node filled at its exact refresh tick), which a fresh or
+        disturbed tree reaches within ``2N`` arrivals.
+        """
+        if len(self._buffer) < (1 << (self.min_level + 1)):
+            # An under-seeded ring buffer cannot sustain the coarsest level's
+            # next refresh even if every node currently sits on cadence.
+            return False
+        t = self._time
+        for level in range(self.min_level, self.n_levels):
+            period = 1 << level
+            refresh_tick = t - (t % period)
+            for role, node in self._levels[level].items():
+                lag = {"R": 0, "S": 1, "L": 2}[role]
+                expected_end = refresh_tick - lag * period
+                if node.coeffs is None or node.end_time != expected_end:
+                    return False
+        return True
+
     # ---------------------------------------------------------------- queries
 
     def cover(self, indices: Iterable[int]) -> Cover:
@@ -550,7 +737,13 @@ class Swat:
                 f"(stream has seen {self._time} values)"
             )
         return build_cover(
-            self.nodes(), wanted, self._time, allow_extrapolation=self.min_level > 0
+            self.nodes(),
+            wanted,
+            self._time,
+            # Reduced trees always extrapolate below min_level; a settling
+            # tree additionally extrapolates across levels reconfigure()
+            # emptied until the shift pipeline refills them.
+            allow_extrapolation=self.min_level > 0 or self._settling,
         )
 
     def estimates(self, indices: Sequence[int]) -> np.ndarray:

@@ -52,6 +52,12 @@ REP011    no per-query Python loops feeding ``<swat-like>.answer`` /
           ``QueryEngine.answer_batch``, which compiles the cover once per
           (shape, phase) and stays bit-identical (read-side mirror of
           REP006; sanctioned scalar fallbacks carry a suppression)
+REP012    no direct mutation of summary tuning state (``k``,
+          ``min_level``, node ``coeffs`` / ``positions``) outside
+          ``repro.control`` and ``repro.core.swat`` / ``repro.core.node``
+          — reconfiguration must go through ``Swat.reconfigure`` (or the
+          governor) so query-plan epochs bump and the byte ledger stays
+          exact; constructors (``__init__``) may still initialize
 ========  ==================================================================
 
 REP008-REP010 are the static prong of the determinism sanitizer; their
@@ -541,6 +547,87 @@ def _check_rep007(tree: ast.Module, path: str) -> Iterator[Finding]:
             )
 
 
+# ------------------------------------------------------------------- REP012
+
+#: Tuning state that controls a summary's memory/accuracy trade-off.  A write
+#: to one of these from arbitrary code bypasses ``Swat.reconfigure`` — no
+#: epoch bump (stale compiled query plans), no ledger update (wrong byte
+#: accounting), no settling discipline (cadence invariant violations).
+_TUNING_ATTRS = frozenset({"k", "min_level", "coeffs", "positions"})
+_TUNING_RECEIVER_RE = re.compile(r"swat|tree|node", re.IGNORECASE)
+_TUNING_CLASS_RE = re.compile(r"swat|node", re.IGNORECASE)
+
+#: Modules that legitimately own tuning state: the control subsystem (any
+#: ``control`` package) and the summary implementation itself.
+_TUNING_OWNER_BASENAMES = frozenset({"swat.py", "node.py"})
+
+
+def _rep012_owner_module(path: str) -> bool:
+    parts = os.path.normpath(path).split(os.sep)
+    if "control" in parts[:-1]:
+        return True
+    return parts[-1] in _TUNING_OWNER_BASENAMES and "core" in parts[:-1]
+
+
+def _in_init(node: ast.AST) -> bool:
+    for ancestor in _ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor.name == "__init__"
+    return False
+
+
+def _enclosing_class(node: ast.AST) -> Optional[ast.ClassDef]:
+    for ancestor in _ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # keep walking: methods live inside their class
+            continue
+    return None
+
+
+def _check_rep012(tree: ast.Module, path: str) -> Iterator[Finding]:
+    if _rep012_owner_module(path):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        else:
+            continue
+        flat: List[ast.expr] = []
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                flat.extend(target.elts)
+            else:
+                flat.append(target)
+        for target in flat:
+            if not isinstance(target, ast.Attribute):
+                continue
+            if target.attr not in _TUNING_ATTRS:
+                continue
+            receiver = target.value
+            dotted = f"{_identifier_of(receiver) or '<expr>'}.{target.attr}"
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                enclosing = _enclosing_class(target)
+                if enclosing is None or not _TUNING_CLASS_RE.search(enclosing.name):
+                    continue
+                if _in_init(target):
+                    continue  # constructors initialize; mutation is the sin
+            else:
+                identifier = _identifier_of(receiver)
+                if identifier is None or not _TUNING_RECEIVER_RE.search(identifier):
+                    continue
+            yield Finding(
+                path, target.lineno, target.col_offset, "REP012",
+                f"direct mutation of summary tuning state {dotted}; go "
+                "through Swat.reconfigure() (or the repro.control governor) "
+                "so query-plan epochs bump, settling is honored, and byte "
+                "accounting stays exact",
+            )
+
+
 # -------------------------------------------------------- REP008 - REP010
 
 # The determinism-sanitizer rules are built on the effect-summary analysis
@@ -616,6 +703,13 @@ RULES: Tuple[Rule, ...] = (
         "no per-query answer/cover loops where a plan-cached batch would do",
         ("core", "replication", "histogram", "sketches", "network"),
         _check_rep011,
+    ),
+    Rule(
+        "REP012",
+        "summary tuning state (k/min_level/coeffs) only mutable via "
+        "reconfigure or the control subsystem",
+        (),
+        _check_rep012,
     ),
 )
 
@@ -698,7 +792,7 @@ def lint_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tools.lint",
-        description="Repo-specific AST linter (rules REP001-REP010).",
+        description="Repo-specific AST linter (rules REP001-REP012).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],

@@ -21,6 +21,7 @@ from .distributed import (
     trace_chaos_demo,
     warm_recovery_demo,
 )
+from .governed import govern_frontier
 from .report import generate_report
 
 __all__ = [
@@ -41,5 +42,6 @@ __all__ = [
     "fault_tolerance_demo",
     "trace_chaos_demo",
     "warm_recovery_demo",
+    "govern_frontier",
     "generate_report",
 ]

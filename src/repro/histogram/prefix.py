@@ -107,6 +107,16 @@ class PrefixStats:
         """Number of values currently in the window."""
         return self._end - self._start
 
+    @property
+    def nbytes(self) -> int:
+        """Array bytes of the backing store (analytic, constant after init).
+
+        The ring preallocates ``5W + 1`` value slots and two prefix arrays of
+        one extra slot each, all float64 — the footprint is a closed form of
+        ``window_size`` and never changes as values arrive.
+        """
+        return int(self._values.nbytes + self._csum.nbytes + self._csq.nbytes)
+
     def value_at(self, pos: int) -> float:
         """Window value at oldest-first position ``pos``."""
         if not 0 <= pos < self.size:

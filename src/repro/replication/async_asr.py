@@ -63,6 +63,7 @@ from typing import (
 )
 
 from .. import contracts
+from ..control.governor import ReplicaGovernor
 from ..core.queries import InnerProductQuery
 from ..metrics.error import GroundTruthWindow
 from ..network.directory import Directory, DirectoryRow, Segment, SegmentPlanCache
@@ -715,6 +716,13 @@ class AsyncSwatAsr:
     checkpoint_policy:
         When to cut checkpoints (requires ``checkpoints``); defaults to
         :class:`~repro.persist.CheckpointPolicy`'s every-phase trigger.
+    governor:
+        Optional :class:`~repro.control.governor.ReplicaGovernor` capping
+        cached directory rows per client site.  At each phase end — after
+        the protocol's own contraction pass — an over-budget site evicts
+        its least-read unpinned rows through the ordinary unsubscribe path
+        and re-negotiates precision later if interest returns.  ``None``
+        (the default) keeps behavior bit-identical to before.
     """
 
     name = "SWAT-ASR (async)"
@@ -732,6 +740,7 @@ class AsyncSwatAsr:
         causal: Optional[CausalTracer] = None,
         checkpoints: Optional[CheckpointStore] = None,
         checkpoint_policy: Optional[CheckpointPolicy] = None,
+        governor: Optional[ReplicaGovernor] = None,
     ) -> None:
         self.topology = topology
         self.window_size = window_size
@@ -775,6 +784,7 @@ class AsyncSwatAsr:
         #: Global checkpoint sequence number; part of the torn-write roll key
         #: so every write's fate is an independent (but seeded) draw.
         self._ckpt_seq = 0
+        self.governor = governor
 
     @property
     def stats(self) -> "MessageStats":
@@ -1121,6 +1131,39 @@ class AsyncSwatAsr:
                             trace=ctx,
                         )
             self.transport.drain()
+        if self.governor is not None:
+            # Cache-row budget pass: runs after contraction (so rows the
+            # protocol already dropped are not double-counted) and before
+            # the push loop (so evicted rows receive no fresh pushes this
+            # phase).  Same deterministic site order as contraction.
+            for node in clients:
+                if not self.transport.is_up(node):
+                    continue
+                site = self.sites[node]
+                rows: List[Tuple[Segment, int, bool]] = []
+                for seg in self._segments:
+                    row = site.directory.row(seg)
+                    if row.is_cached:
+                        # A row with subscribed children is pinned: evicting
+                        # it would break the Section 3 precision chain.
+                        rows.append((seg, row.local_reads, bool(row.subscribed)))
+                evict = self.governor.select_evictions(rows)
+                for seg in evict:
+                    site.directory.row(seg).approx = None
+                    parent = self.topology.parent(node)
+                    assert parent is not None
+                    self.transport.send(
+                        node,
+                        parent,
+                        MessageKind.UNSUBSCRIBE,
+                        {"segment": seg},
+                        trace=ctx,
+                    )
+                    self.governor.rows_evicted += 1
+                    if obs.ENABLED:
+                        obs.counter("shed.asr.rows_evicted").inc()
+                if evict:
+                    self.transport.drain()
         for node in self.topology.nodes:
             site = self.sites[node]
             if not self.transport.is_up(node):

@@ -47,7 +47,7 @@ class TestCli:
         expected = {
             "fig4a", "fig4c", "fig5", "fig6a", "fig6b",
             "fig9a", "fig9b", "fig9c", "fig10a", "fig10b", "space", "chaos",
-            "recovery", "tracedemo",
+            "recovery", "tracedemo", "govern",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -147,6 +147,23 @@ class TestTrace:
     def test_trace_out_empty_path_errors(self, capsys, restore_causal):
         assert main(["tracedemo", "--quick", "--trace-out", ""]) == 2
         assert "empty path" in capsys.readouterr().err
+
+    def test_govern_prints_frontier_and_writes_report(
+        self, capsys, tmp_path, restore_obs
+    ):
+        path = tmp_path / "govern.json"
+        assert main(["govern", "--quick", "--report-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Capacity frontier" in out
+        assert "bit-identical" in out
+        report = json.loads(path.read_text())
+        assert report["fingerprint_match"] is True
+        assert report["rows"]
+        assert all(row["budget_ok"] for row in report["rows"])
+
+    def test_govern_report_out_bad_dir_errors(self, capsys, restore_obs):
+        assert main(["govern", "--quick", "--report-out", "/nonexistent-xyz/r.json"]) == 2
+        assert "does not exist" in capsys.readouterr().err
 
 
 class TestReport:

@@ -39,6 +39,7 @@ class TestRuleFixtures:
             ("REP009", fixture("rep009", "replication", "bad_iteration.py"), 3),
             ("REP010", fixture("rep010", "network", "bad_ambient.py"), 3),
             ("REP011", fixture("rep011", "core", "bad_scalar_queries.py"), 5),
+            ("REP012", fixture("rep012", "pkg", "bad_direct_tuning.py"), 5),
         ],
     )
     def test_rule_fires_on_bad_fixture(self, rule, bad, expected_count):
@@ -59,6 +60,7 @@ class TestRuleFixtures:
             fixture("rep009", "replication", "good_sorted.py"),
             fixture("rep010", "network", "good_seeded.py"),
             fixture("rep011", "core", "good_batched_queries.py"),
+            fixture("rep012", "pkg", "good_reconfigure.py"),
         ],
     )
     def test_rule_quiet_on_good_fixture(self, good):
@@ -160,6 +162,37 @@ class TestRuleSemantics:
         )
         codes = [f.code for f in check_source(src, "pkg/core/driver.py")]
         assert codes == ["REP011"]
+
+    def test_rep012_allows_owner_modules(self):
+        src = "def f(tree):\n    tree.k = 2\n"
+        # the summary implementation and the control subsystem own tuning
+        assert check_source(src, "pkg/core/swat.py") == []
+        assert check_source(src, "pkg/core/node.py") == []
+        assert check_source(src, "pkg/control/governor.py") == []
+        codes = [f.code for f in check_source(src, "pkg/core/engine.py")]
+        assert codes == ["REP012"]
+
+    def test_rep012_self_mutation_only_in_summary_classes(self):
+        swat_like = (
+            "class MiniSwat:\n"
+            "    def __init__(self, k):\n"
+            "        self.k = k\n"
+            "    def degrade(self):\n"
+            "        self.k = 1\n"
+        )
+        codes = [f.code for f in check_source(swat_like, "pkg/core/engine.py")]
+        assert codes == ["REP012"]  # only the mutation outside __init__
+        unrelated = swat_like.replace("MiniSwat", "Scheduler")
+        assert check_source(unrelated, "pkg/core/engine.py") == []
+
+    def test_rep012_flags_augmented_and_tuple_targets(self):
+        src = (
+            "def f(tree, node):\n"
+            "    tree.min_level += 1\n"
+            "    node.coeffs, node.positions = None, None\n"
+        )
+        codes = [f.code for f in check_source(src, "pkg/replication/asr.py")]
+        assert codes == ["REP012", "REP012", "REP012"]
 
     def test_rep007_allows_broad_catch_that_reraises(self):
         src = (
@@ -294,7 +327,7 @@ class TestDriver:
         codes = {f.code for f in findings}
         assert codes == {
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
-            "REP008", "REP009", "REP010", "REP011",
+            "REP008", "REP009", "REP010", "REP011", "REP012",
         }
 
     def test_lint_paths_missing_target_raises(self):
@@ -307,7 +340,7 @@ class TestDriver:
     def test_rule_registry_is_complete(self):
         assert [r.code for r in RULES] == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
-            "REP008", "REP009", "REP010", "REP011",
+            "REP008", "REP009", "REP010", "REP011", "REP012",
         ]
 
 
@@ -344,7 +377,7 @@ class TestEntryPoints:
         assert proc.returncode == 0
         codes = (
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
-            "REP008", "REP009", "REP010", "REP011",
+            "REP008", "REP009", "REP010", "REP011", "REP012",
         )
         for code in codes:
             assert code in proc.stdout
